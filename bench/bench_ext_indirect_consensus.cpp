@@ -1,0 +1,75 @@
+// Extension — indirect consensus ([12], Ekwall & Schiper DSN'06).
+//
+// The paper's related-work section describes extending the consensus
+// specification so the consensus layer shares state with atomic broadcast,
+// agreeing on message ids instead of payloads and cutting wire data. This
+// bench adds that third variant to the paper's modular-vs-monolithic
+// comparison: it recovers about half of the modular stack's data overhead
+// while keeping the module structure.
+//
+// Flags: --n=3 --size=16384 --loads=... --seeds=N --quick
+#include "bench_util.hpp"
+
+using namespace modcast;
+using namespace modcast::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {"n", "size", "loads", "seeds", "warmup_s", "measure_s",
+                     "quick"});
+  BenchConfig bc = bench_config(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
+  const auto size = static_cast<std::size_t>(flags.get_int("size", 16384));
+  const auto loads = flags.get_int_list(
+      "loads", bc.quick ? std::vector<std::int64_t>{1000, 4000}
+                        : std::vector<std::int64_t>{500, 1000, 2000, 4000,
+                                                    7000});
+
+  core::StackOptions modular;
+  modular.kind = core::StackKind::kModular;
+  core::StackOptions indirect = modular;
+  indirect.indirect_consensus = true;
+  core::StackOptions mono;
+  mono.kind = core::StackKind::kMonolithic;
+
+  struct Row {
+    const char* name;
+    const core::StackOptions* opts;
+  };
+  const Row rows[] = {{"modular", &modular},
+                      {"modular+indirect", &indirect},
+                      {"monolithic", &mono}};
+
+  std::printf("== Extension: indirect consensus vs the paper's stacks ==\n");
+  std::printf("n = %zu, size = %zu B; %zu seed(s)\n\n", n, size, bc.seeds);
+  std::printf("%-8s | %-18s | %12s | %14s | %10s\n", "load", "stack",
+              "latency ms", "thr msgs/s", "KiB/cons");
+  std::printf("---------+--------------------+--------------+"
+              "----------------+-----------\n");
+
+  for (std::int64_t load : loads) {
+    for (const Row& row : rows) {
+      workload::WorkloadConfig wl;
+      wl.offered_load = static_cast<double>(load);
+      wl.message_size = size;
+      wl.warmup = util::from_seconds(bc.warmup_s);
+      wl.measure = util::from_seconds(bc.measure_s);
+      auto r = workload::run_experiment(n, *row.opts, wl, bc.seeds);
+      std::printf("%-8lld | %-18s | %12s | %14s | %10.1f\n",
+                  static_cast<long long>(load), row.name,
+                  util::format_ci(r.latency_ms, 2).c_str(),
+                  util::format_ci(r.throughput, 0).c_str(),
+                  r.bytes_per_consensus / 1024.0);
+      std::fflush(stdout);
+    }
+    std::printf("---------+--------------------+--------------+"
+                "----------------+-----------\n");
+  }
+
+  std::printf(
+      "\nreading: indirect consensus keeps the modular structure but agrees\n"
+      "on 12-byte ids; its data per consensus drops from 2(n-1)Ml toward\n"
+      "(n-1)Ml (diffusion only), closing part of the modularity gap — the\n"
+      "related-work trade-off the paper cites as [12].\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension — modularity overhead as a function of group size.
+//
+// §5.2.2 predicts the modular stack's data overhead grows with n as
+// (n−1)/(n+1) → 100%, and §5.2.1 predicts the message-count ratio grows as
+// (M+2+⌊(n+1)/2⌋)/2. The paper only evaluates n ∈ {3,7}; this bench sweeps
+// group sizes and reports measured latency/throughput gaps next to the
+// analytic data-overhead trend.
+//
+// Flags: --n_list=3,5,7,9 --load=4000 --size=8192 --seeds=N --quick
+#include "analysis/analytical_model.hpp"
+#include "bench_util.hpp"
+
+using namespace modcast;
+using namespace modcast::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {"n_list", "load", "size", "seeds", "warmup_s",
+                     "measure_s", "quick"});
+  BenchConfig bc = bench_config(flags);
+  const auto n_list = flags.get_int_list(
+      "n_list", bc.quick ? std::vector<std::int64_t>{3, 7}
+                         : std::vector<std::int64_t>{3, 5, 7, 9});
+  const double load = flags.get_double("load", 4000);
+  const auto size = static_cast<std::size_t>(flags.get_int("size", 8192));
+
+  std::printf("== Extension: modularity cost vs group size ==\n");
+  std::printf("offered load = %.0f msgs/s, size = %zu B; %zu seed(s)\n\n",
+              load, size, bc.seeds);
+  std::printf("%3s | %12s | %12s | %9s | %9s | %9s\n", "n", "mod lat ms",
+              "mono lat ms", "lat gap", "thr gap", "ovh (n-1)/(n+1)");
+  std::printf("----+--------------+--------------+-----------+-----------+"
+              "-----------\n");
+
+  for (std::int64_t n : n_list) {
+    workload::WorkloadConfig wl;
+    wl.offered_load = load;
+    wl.message_size = size;
+    wl.warmup = util::from_seconds(bc.warmup_s);
+    wl.measure = util::from_seconds(bc.measure_s);
+
+    core::StackOptions modular;
+    modular.kind = core::StackKind::kModular;
+    core::StackOptions mono;
+    mono.kind = core::StackKind::kMonolithic;
+
+    auto rm = workload::run_experiment(static_cast<std::size_t>(n), modular,
+                                       wl, bc.seeds);
+    auto rn = workload::run_experiment(static_cast<std::size_t>(n), mono, wl,
+                                       bc.seeds);
+
+    const double lat_gap =
+        (rm.latency_ms.mean - rn.latency_ms.mean) / rm.latency_ms.mean;
+    const double thr_gap =
+        (rn.throughput.mean - rm.throughput.mean) / rm.throughput.mean;
+    std::printf("%3lld | %12.2f | %12.2f | %8.0f%% | %8.0f%% | %9.0f%%\n",
+                static_cast<long long>(n), rm.latency_ms.mean,
+                rn.latency_ms.mean, lat_gap * 100.0, thr_gap * 100.0,
+                analysis::modularity_data_overhead(
+                    static_cast<std::uint64_t>(n)) *
+                    100.0);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nreading: 'lat gap' = how much lower the monolithic latency is;\n"
+      "'thr gap' = how much higher its throughput; the last column is the\n"
+      "paper's analytic data overhead of modularity, growing toward 100%%.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// §5.2.1 — Number of messages sent per consensus execution.
+//
+// Prints the paper's closed-form counts next to counts measured from the
+// actual protocol stacks running saturated on the simulator with the
+// paper's M = 4 pinned (max_batch = 4, window sized to keep the batch
+// full). The worked example: n = 3, M = 4 → modular 16 messages vs
+// monolithic 4.
+//
+// Flags: --n_list=3,5,7 --size=1024 --seeds=N --quick
+#include "analysis/analytical_model.hpp"
+#include "bench_util.hpp"
+
+using namespace modcast;
+using namespace modcast::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {"n_list", "size", "seeds", "warmup_s", "measure_s",
+                     "quick"});
+  BenchConfig bc = bench_config(flags);
+  const auto n_list = flags.get_int_list("n_list", {3, 5, 7});
+  const auto size = static_cast<std::size_t>(flags.get_int("size", 1024));
+
+  std::printf("== Table (§5.2.1): messages per consensus execution ==\n");
+  std::printf("saturated workload, M = 4 (flow control), size = %zu B\n\n",
+              size);
+  std::printf("%3s | %10s %10s | %10s %10s | %7s %7s\n", "n", "mod:paper",
+              "mod:meas", "mono:paper", "mono:meas", "ratio:p", "ratio:m");
+  std::printf("----+----------------------+----------------------+"
+              "----------------\n");
+
+  for (std::int64_t n : n_list) {
+    workload::WorkloadConfig wl;
+    wl.offered_load = 8000;  // far above saturation
+    wl.message_size = size;
+    wl.warmup = util::from_seconds(bc.warmup_s);
+    wl.measure = util::from_seconds(bc.measure_s);
+
+    core::StackOptions modular;
+    modular.kind = core::StackKind::kModular;
+    modular.max_batch = 4;
+    modular.window = 4;
+    core::StackOptions mono = modular;
+    mono.kind = core::StackKind::kMonolithic;
+
+    auto rm = workload::run_experiment(static_cast<std::size_t>(n), modular,
+                                       wl, bc.seeds);
+    auto rn = workload::run_experiment(static_cast<std::size_t>(n), mono, wl,
+                                       bc.seeds);
+
+    const auto paper_mod = analysis::modular_messages_per_consensus(
+        static_cast<std::uint64_t>(n), 4);
+    const auto paper_mono = analysis::monolithic_messages_per_consensus(
+        static_cast<std::uint64_t>(n));
+
+    std::printf("%3lld | %10llu %10.1f | %10llu %10.1f | %6.2fx %6.2fx\n",
+                static_cast<long long>(n),
+                static_cast<unsigned long long>(paper_mod),
+                rm.msgs_per_consensus,
+                static_cast<unsigned long long>(paper_mono),
+                rn.msgs_per_consensus,
+                static_cast<double>(paper_mod) /
+                    static_cast<double>(paper_mono),
+                rn.msgs_per_consensus > 0
+                    ? rm.msgs_per_consensus / rn.msgs_per_consensus
+                    : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper worked example: n=3, M=4 -> modular 16 vs monolithic 4\n"
+      "(measured counts include FD-free protocol traffic only; small\n"
+      "deviations come from occasional standalone decision tags).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/abcast_process.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "workload/experiment.hpp"
+
+namespace modcast::bench {
+
+/// The four curves every experimental figure in the paper plots.
+struct Curve {
+  std::size_t n;
+  core::StackKind kind;
+};
+
+inline std::vector<Curve> paper_curves() {
+  return {{3, core::StackKind::kMonolithic},
+          {3, core::StackKind::kModular},
+          {7, core::StackKind::kMonolithic},
+          {7, core::StackKind::kModular}};
+}
+
+inline std::string curve_label(const Curve& c) {
+  return "n=" + std::to_string(c.n) + " " + core::to_string(c.kind);
+}
+
+struct BenchConfig {
+  std::size_t seeds = 2;
+  double warmup_s = 1.5;
+  double measure_s = 3.0;
+  bool quick = false;
+};
+
+inline BenchConfig bench_config(const util::Flags& flags) {
+  BenchConfig cfg;
+  cfg.quick = flags.get_bool("quick", false);
+  cfg.seeds = static_cast<std::size_t>(
+      flags.get_int("seeds", cfg.quick ? 1 : 2));
+  cfg.warmup_s = flags.get_double("warmup_s", cfg.quick ? 1.0 : 1.5);
+  cfg.measure_s = flags.get_double("measure_s", cfg.quick ? 1.5 : 3.0);
+  return cfg;
+}
+
+inline workload::AggregateResult run_point(const Curve& curve,
+                                           double offered_load,
+                                           std::size_t message_size,
+                                           const BenchConfig& bc) {
+  core::StackOptions stack;
+  stack.kind = curve.kind;
+  workload::WorkloadConfig wl;
+  wl.offered_load = offered_load;
+  wl.message_size = message_size;
+  wl.warmup = util::from_seconds(bc.warmup_s);
+  wl.measure = util::from_seconds(bc.measure_s);
+  return workload::run_experiment(curve.n, stack, wl, bc.seeds);
+}
+
+/// Optional CSV mirror of a figure's data (one row per (x, curve) point),
+/// ready for gnuplot/matplotlib. Enabled with --csv=<path>.
+class CsvWriter {
+ public:
+  CsvWriter(const util::Flags& flags, const char* x_name) {
+    const std::string path = flags.get("csv", "");
+    if (path.empty()) return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s,n,stack,mean,ci_half\n", x_name);
+    }
+  }
+  ~CsvWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(std::int64_t x, const Curve& curve,
+           const util::ConfidenceInterval& ci) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%lld,%zu,%s,%.6f,%.6f\n",
+                 static_cast<long long>(x), curve.n,
+                 core::to_string(curve.kind), ci.mean, ci.half_width);
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+inline void print_header(const char* x_name) {
+  std::printf("%-10s", x_name);
+  for (const auto& c : paper_curves()) {
+    std::printf(" | %-22s", curve_label(c).c_str());
+  }
+  std::printf("\n");
+  std::printf("----------");
+  for (std::size_t i = 0; i < paper_curves().size(); ++i) {
+    std::printf("-+-----------------------");
+  }
+  std::printf("\n");
+}
+
+}  // namespace modcast::bench

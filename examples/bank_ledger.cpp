@@ -1,0 +1,178 @@
+// Replicated bank ledger: the paper's modularity trade-off, end to end.
+//
+// Every branch (process) holds a full replica of all accounts and submits
+// transfers through atomic broadcast; total order makes "apply if the
+// balance suffices" deterministic, so no replica ever disagrees about which
+// transfers succeeded. The same workload runs on the modular and the
+// monolithic stack, and the example reports each stack's completion time
+// and wire usage — the paper's headline trade-off, observable from a user
+// application.
+//
+//   $ ./bank_ledger [--n=3] [--accounts=8] [--transfers=300]
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sim_group.hpp"
+#include "util/bytes.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+using namespace modcast;
+
+namespace {
+
+constexpr std::int64_t kInitialBalance = 1000;
+
+struct Transfer {
+  std::uint32_t from;
+  std::uint32_t to;
+  std::int64_t amount;
+
+  util::Bytes encode() const {
+    util::ByteWriter w(16);
+    w.u32(from);
+    w.u32(to);
+    w.i64(amount);
+    return w.take();
+  }
+  static Transfer decode(const util::Bytes& b) {
+    util::ByteReader r(b);
+    Transfer t;
+    t.from = r.u32();
+    t.to = r.u32();
+    t.amount = r.i64();
+    return t;
+  }
+};
+
+/// One branch's ledger replica.
+struct Ledger {
+  explicit Ledger(std::size_t accounts)
+      : balances(accounts, kInitialBalance) {}
+
+  void apply(const Transfer& t) {
+    // Deterministic admission rule: reject overdrafts. Because every
+    // replica sees the same order, every replica makes the same decision.
+    if (balances[t.from] >= t.amount) {
+      balances[t.from] -= t.amount;
+      balances[t.to] += t.amount;
+      ++applied;
+    } else {
+      ++rejected;
+    }
+  }
+
+  std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (auto b : balances) sum += b;
+    return sum;
+  }
+
+  std::vector<std::int64_t> balances;
+  int applied = 0;
+  int rejected = 0;
+};
+
+struct RunOutcome {
+  std::vector<Ledger> ledgers;
+  util::TimePoint all_applied_at = 0;
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+RunOutcome run(core::StackKind kind, std::size_t n, std::size_t accounts,
+               int transfers) {
+  core::SimGroupConfig cfg;
+  cfg.n = n;
+  cfg.stack.kind = kind;
+  cfg.record_deliveries = false;
+  core::SimGroup group(cfg);
+
+  RunOutcome out;
+  out.ledgers.assign(n, Ledger(accounts));
+  int total_applied_events = 0;
+  for (util::ProcessId p = 0; p < n; ++p) {
+    group.process(p).set_deliver_handler(
+        [&out, &group, &total_applied_events, p, n, transfers](
+            util::ProcessId, std::uint64_t, const util::Bytes& payload) {
+          out.ledgers[p].apply(Transfer::decode(payload));
+          if (++total_applied_events == transfers * static_cast<int>(n)) {
+            out.all_applied_at = group.world().now();
+          }
+        });
+  }
+  group.start();
+
+  util::Rng rng(7);
+  for (int i = 0; i < transfers; ++i) {
+    Transfer t;
+    t.from = static_cast<std::uint32_t>(rng.uniform(accounts));
+    do {
+      t.to = static_cast<std::uint32_t>(rng.uniform(accounts));
+    } while (t.to == t.from);
+    t.amount = rng.uniform_range(1, 400);
+    const auto submitter = static_cast<util::ProcessId>(rng.uniform(n));
+    group.world().simulator().at(
+        util::milliseconds(1) + i * util::microseconds(700),
+        [&group, submitter, t] {
+          group.process(submitter).abcast(t.encode());
+        });
+  }
+
+  group.run_until(util::seconds(10));
+  for (util::ProcessId p = 0; p < n; ++p) {
+    out.wire_messages += group.process(p).stack().counters().wire_sends;
+  }
+  const auto& net = group.world().network().total();
+  out.wire_bytes = net.payload_bytes;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"n", "accounts", "transfers"});
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
+  const auto accounts =
+      static_cast<std::size_t>(flags.get_int("accounts", 8));
+  const int transfers = static_cast<int>(flags.get_int("transfers", 300));
+  const auto expected_total =
+      static_cast<std::int64_t>(accounts) * kInitialBalance;
+
+  std::printf("replicated bank: %zu branches, %zu accounts, %d transfers\n\n",
+              n, accounts, transfers);
+
+  for (auto kind :
+       {core::StackKind::kModular, core::StackKind::kMonolithic}) {
+    RunOutcome out = run(kind, n, accounts, transfers);
+
+    bool consistent = true;
+    for (std::size_t p = 1; p < n; ++p) {
+      if (out.ledgers[p].balances != out.ledgers[0].balances) {
+        consistent = false;
+      }
+    }
+    const bool conserved = out.ledgers[0].total() == expected_total;
+
+    std::printf("%s stack:\n", core::to_string(kind));
+    std::printf("  applied %d, rejected %d (identical at every branch: %s)\n",
+                out.ledgers[0].applied, out.ledgers[0].rejected,
+                consistent ? "yes" : "NO — BUG");
+    std::printf("  money conserved: %s (total %lld)\n",
+                conserved ? "yes" : "NO — BUG",
+                static_cast<long long>(out.ledgers[0].total()));
+    std::printf("  all transfers settled at t = %.1f ms\n",
+                util::to_milliseconds(out.all_applied_at));
+    std::printf("  network usage: %llu messages, %.1f KiB\n\n",
+                static_cast<unsigned long long>(out.wire_messages),
+                static_cast<double>(out.wire_bytes) / 1024.0);
+    if (!consistent || !conserved) return 1;
+  }
+
+  std::printf("both stacks agree on every balance; the monolithic stack\n");
+  std::printf("settles the same workload with fewer messages and bytes —\n");
+  std::printf("the cost of modularity, visible from the application.\n");
+  return 0;
+}

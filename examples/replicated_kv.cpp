@@ -1,0 +1,130 @@
+// Replicated key-value store: state machine replication over atomic
+// broadcast (the canonical use case that motivates the paper's protocol).
+//
+// Each replica applies SET/DEL commands in adelivery order. Because atomic
+// broadcast delivers the same commands in the same total order everywhere,
+// the replicas' states stay identical — even with concurrent conflicting
+// writers and a replica crash in the middle of the run.
+//
+//   $ ./replicated_kv [--kind=modular|monolithic] [--n=5] [--crash]
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sim_group.hpp"
+#include "util/flags.hpp"
+
+using namespace modcast;
+
+namespace {
+
+/// One replica's state machine.
+class KvStore {
+ public:
+  void apply(const std::string& command) {
+    ++applied_;
+    // Format: "SET key value" or "DEL key".
+    if (command.rfind("SET ", 0) == 0) {
+      auto space = command.find(' ', 4);
+      data_[command.substr(4, space - 4)] = command.substr(space + 1);
+    } else if (command.rfind("DEL ", 0) == 0) {
+      data_.erase(command.substr(4));
+    }
+  }
+
+  std::size_t fingerprint() const {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto& [k, v] : data_) {
+      h = (h ^ std::hash<std::string>{}(k + "=" + v)) * 1099511628211ull;
+    }
+    return h;
+  }
+
+  const std::map<std::string, std::string>& data() const { return data_; }
+  std::size_t applied() const { return applied_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"kind", "n", "crash"});
+  const std::string kind = flags.get("kind", "modular");
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 5));
+  const bool crash = flags.get_bool("crash", true);
+
+  core::SimGroupConfig cfg;
+  cfg.n = n;
+  cfg.stack.kind = (kind == "monolithic") ? core::StackKind::kMonolithic
+                                          : core::StackKind::kModular;
+  cfg.record_deliveries = false;
+  core::SimGroup group(cfg);
+
+  std::vector<KvStore> replicas(n);
+  for (util::ProcessId p = 0; p < n; ++p) {
+    group.process(p).set_deliver_handler(
+        [&replicas, p](util::ProcessId, std::uint64_t,
+                       const util::Bytes& payload) {
+          replicas[p].apply(std::string(payload.begin(), payload.end()));
+        });
+  }
+  group.start();
+
+  // Concurrent writers: every replica's client hammers the same keys, so
+  // without total order the replicas would diverge immediately.
+  auto submit = [&group](util::ProcessId p, util::TimePoint at,
+                         std::string cmd) {
+    group.world().simulator().at(at, [&group, p, cmd] {
+      if (!group.crashed(p)) {
+        group.process(p).abcast(util::Bytes(cmd.begin(), cmd.end()));
+      }
+    });
+  };
+  const char* keys[] = {"alpha", "beta", "gamma"};
+  int round = 0;
+  for (util::TimePoint t = util::milliseconds(1); t < util::milliseconds(300);
+       t += util::milliseconds(3), ++round) {
+    const util::ProcessId writer = round % n;
+    const std::string key = keys[round % 3];
+    if (round % 11 == 10) {
+      submit(writer, t, "DEL " + key);
+    } else {
+      submit(writer, t,
+             "SET " + key + " v" + std::to_string(round) + "-from-p" +
+                 std::to_string(writer));
+    }
+  }
+
+  if (crash) {
+    const util::ProcessId victim = static_cast<util::ProcessId>(n - 1);
+    group.crash_at(victim, util::milliseconds(120));
+    std::printf("(replica %u will crash at t=120ms)\n\n", victim);
+  }
+
+  group.run_until(util::seconds(3));
+
+  std::printf("stack: %s, %zu replicas, %d commands submitted\n\n",
+              core::to_string(cfg.stack.kind), n, round);
+  bool consistent = true;
+  const std::size_t reference = replicas[0].fingerprint();
+  for (util::ProcessId p = 0; p < n; ++p) {
+    const bool dead = group.crashed(p);
+    std::printf("replica %u%s: applied %zu commands, state hash %016zx\n", p,
+                dead ? " (crashed)" : "", replicas[p].applied(),
+                replicas[p].fingerprint());
+    if (!dead && replicas[p].fingerprint() != reference) consistent = false;
+  }
+
+  std::printf("\nfinal state (replica 0):\n");
+  for (const auto& [k, v] : replicas[0].data()) {
+    std::printf("  %s = %s\n", k.c_str(), v.c_str());
+  }
+  std::printf("\nlive replicas consistent: %s\n",
+              consistent ? "YES" : "NO (bug!)");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+# Gnuplot script for the figure benches' --csv output.
+#
+# Usage:
+#   build/bench/bench_fig8_latency_vs_load  --csv=results/fig8.csv
+#   build/bench/bench_fig10_throughput_vs_load --csv=results/fig10.csv
+#   gnuplot -e "csv='results/fig8.csv'; ylab='early latency (ms)'; out='fig8.png'" scripts/plot_figures.gp
+#
+# The CSV schema is: x,n,stack,mean,ci_half — one row per (x, curve).
+
+if (!exists("csv"))  csv  = "results/fig8.csv"
+if (!exists("ylab")) ylab = "metric"
+if (!exists("out"))  out  = "figure.png"
+
+set datafile separator ","
+set terminal pngcairo size 900,600
+set output out
+set key left top
+set xlabel "offered load / message size"
+set ylabel ylab
+set logscale x 2
+set grid
+
+plot \
+  "<awk -F, '$2==3 && $3==\"monolithic\"' ".csv u 1:4:5 w yerrorlines t "n=3 monolithic", \
+  "<awk -F, '$2==3 && $3==\"modular\"' ".csv    u 1:4:5 w yerrorlines t "n=3 modular", \
+  "<awk -F, '$2==7 && $3==\"monolithic\"' ".csv u 1:4:5 w yerrorlines t "n=7 monolithic", \
+  "<awk -F, '$2==7 && $3==\"modular\"' ".csv    u 1:4:5 w yerrorlines t "n=7 modular"

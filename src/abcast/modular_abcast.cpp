@@ -1,0 +1,332 @@
+#include "abcast/modular_abcast.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace modcast::abcast {
+
+namespace {
+constexpr std::uint8_t kDiffuse = 1;
+constexpr std::uint8_t kPayloadPull = 2;  ///< indirect: ids whose payloads we need
+constexpr std::uint8_t kPayloadPush = 3;  ///< indirect: requested payloads
+}
+
+void ModularAbcast::init(framework::Stack& stack) {
+  stack_ = &stack;
+  stack.bind_wire(framework::kModAbcast,
+                  [this](util::ProcessId from, util::Bytes msg) {
+                    on_wire(from, std::move(msg));
+                  });
+  stack.bind(framework::kEvDecide, [this](const framework::Event& ev) {
+    auto& body = ev.as<framework::ConsensusValueBody>();
+    on_decide(body.instance, body.value);
+  });
+  stack.bind(framework::kEvProposeRequest, [this](const framework::Event& ev) {
+    on_propose_request(ev.as<framework::ProposeRequestBody>().instance);
+  });
+}
+
+void ModularAbcast::on_propose_request(std::uint64_t k) {
+  if (k < next_decide_) return;  // already decided and applied
+  // A recovery-round coordinator needs our initial value for instance k.
+  // Propose whatever we currently hold — possibly an empty batch ("starts a
+  // consensus even if no message arrives", §3.3).
+  std::vector<AppMessage> batch;
+  for (const AppMessage& m : pending_fifo_) {
+    if (pending_ids_.count(m.id) == 0) continue;
+    if (batch.size() >= config_.max_batch) break;
+    batch.push_back(m);
+  }
+  next_instance_ = std::max(next_instance_, k + 1);
+  stack_->raise(framework::Event::local(
+      framework::kEvPropose,
+      framework::ConsensusValueBody{k, encode_value(batch)}));
+}
+
+void ModularAbcast::start() {
+  last_activity_ = stack_->rt().now();
+  arm_liveness_timer();
+}
+
+std::uint64_t ModularAbcast::abcast(util::Bytes payload) {
+  app_queue_.push_back(std::move(payload));
+  // Admission is strictly FIFO, so this message's eventual sequence number
+  // is fixed by its queue position even if it is not admitted yet.
+  const std::uint64_t seq = next_seq_ + app_queue_.size() - 1;
+  admit_queued();
+  return seq;
+}
+
+void ModularAbcast::admit_queued() {
+  while (in_flight_ < config_.window && !app_queue_.empty()) {
+    AppMessage m;
+    m.id = MsgId{stack_->self(), next_seq_++};
+    m.payload = std::move(app_queue_.front());
+    app_queue_.pop_front();
+    ++in_flight_;
+    ++stats_.admitted;
+    if (admit_) admit_(m.id.seq);
+    seen_.mark(m.id.origin, m.id.seq);
+    if (config_.indirect_consensus) store_payload(m);
+    diffuse(m);
+    add_pending(std::move(m));
+  }
+}
+
+void ModularAbcast::diffuse(const AppMessage& m) {
+  util::ByteWriter w(m.payload.size() + 24);
+  w.u8(kDiffuse);
+  encode_message(w, m);
+  stack_->send_wire_to_others(framework::kModAbcast, w.take());
+}
+
+void ModularAbcast::add_pending(AppMessage m) {
+  if (delivered_.seen(m.id.origin, m.id.seq)) return;
+  if (pending_ids_.count(m.id) != 0) return;
+  pending_ids_.insert(m.id);
+  pending_fifo_.push_back(std::move(m));
+  maybe_propose();
+}
+
+void ModularAbcast::on_wire(util::ProcessId from, util::Bytes msg) {
+  last_activity_ = stack_->rt().now();
+  util::ByteReader r(msg);
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case kDiffuse: {
+      AppMessage m = decode_message(r);
+      if (config_.indirect_consensus) {
+        store_payload(m);
+        on_new_payloads();
+      }
+      if (!seen_.mark(m.id.origin, m.id.seq)) return;  // duplicate
+      add_pending(std::move(m));
+      break;
+    }
+    case kPayloadPull: {
+      // Serve whatever requested payloads we hold.
+      util::Bytes ids_blob(r.rest().begin(), r.rest().end());
+      std::vector<AppMessage> have;
+      for (const MsgId& id : decode_id_batch(ids_blob)) {
+        auto it = payload_store_.find(id);
+        if (it != payload_store_.end()) {
+          have.push_back(AppMessage{id, it->second});
+        }
+      }
+      if (!have.empty()) {
+        util::ByteWriter w;
+        w.u8(kPayloadPush);
+        w.raw(encode_batch(have));
+        stack_->send_wire(from, framework::kModAbcast, w.take());
+      }
+      break;
+    }
+    case kPayloadPush: {
+      util::Bytes batch_blob(r.rest().begin(), r.rest().end());
+      for (AppMessage& m : decode_batch(batch_blob)) {
+        store_payload(m);
+        // A pushed payload is also a (re)diffusion: pool it if unseen.
+        if (seen_.mark(m.id.origin, m.id.seq)) add_pending(std::move(m));
+      }
+      on_new_payloads();
+      break;
+    }
+    default:
+      MODCAST_WARN("abcast: unknown wire kind " + std::to_string(kind));
+  }
+}
+
+void ModularAbcast::maybe_propose() {
+  if (next_instance_ != next_decide_) return;  // an instance is in flight
+  if (pending_ids_.empty()) return;
+
+  // Collect up to max_batch live entries in arrival order. Dead entries
+  // (already delivered) are compacted away as we walk.
+  std::vector<AppMessage> batch;
+  std::deque<AppMessage> keep;
+  while (!pending_fifo_.empty()) {
+    AppMessage& m = pending_fifo_.front();
+    if (pending_ids_.count(m.id) != 0 && batch.size() < config_.max_batch) {
+      batch.push_back(m);
+      keep.push_back(std::move(m));
+    } else if (pending_ids_.count(m.id) != 0) {
+      keep.push_back(std::move(m));
+    }
+    pending_fifo_.pop_front();
+  }
+  pending_fifo_ = std::move(keep);
+  if (batch.empty()) return;
+
+  const std::uint64_t k = next_instance_++;
+  stack_->raise(framework::Event::local(
+      framework::kEvPropose,
+      framework::ConsensusValueBody{k, encode_value(batch)}));
+}
+
+util::Bytes ModularAbcast::encode_value(
+    const std::vector<AppMessage>& batch) const {
+  if (!config_.indirect_consensus) return encode_batch(batch);
+  std::vector<MsgId> ids;
+  ids.reserve(batch.size());
+  for (const AppMessage& m : batch) ids.push_back(m.id);
+  return encode_id_batch(ids);
+}
+
+void ModularAbcast::on_decide(std::uint64_t k, const util::Bytes& value) {
+  last_activity_ = stack_->rt().now();
+  if (k < next_decide_) return;  // already applied
+  ready_decisions_[k] = value;
+  apply_ready_decisions();
+}
+
+void ModularAbcast::apply_ready_decisions() {
+  while (true) {
+    auto it = ready_decisions_.find(next_decide_);
+    if (it == ready_decisions_.end()) break;
+
+    std::vector<AppMessage> batch;
+    if (config_.indirect_consensus) {
+      // Resolve ids to payloads; block (and pull) if any is missing. The
+      // decision stays buffered so ordering is preserved.
+      std::vector<MsgId> missing;
+      for (const MsgId& id : decode_id_batch(it->second)) {
+        if (delivered_.seen(id.origin, id.seq)) continue;  // dup across k
+        auto pit = payload_store_.find(id);
+        if (pit == payload_store_.end()) {
+          missing.push_back(id);
+        } else {
+          batch.push_back(AppMessage{id, pit->second});
+        }
+      }
+      if (!missing.empty()) {
+        request_payloads(missing);
+        arm_payload_timer();
+        break;
+      }
+    } else {
+      batch = decode_batch(it->second);
+    }
+    ready_decisions_.erase(it);
+
+    // Deterministic delivery order within the batch.
+    std::sort(batch.begin(), batch.end(),
+              [](const AppMessage& a, const AppMessage& b) {
+                return a.id < b.id;
+              });
+    for (AppMessage& m : batch) {
+      if (!delivered_.mark(m.id.origin, m.id.seq)) continue;  // dup across k
+      seen_.mark(m.id.origin, m.id.seq);
+      pending_ids_.erase(m.id);
+      if (m.id.origin == stack_->self() && in_flight_ > 0) --in_flight_;
+      if (config_.indirect_consensus) retain_delivered(m.id);
+      ++stats_.delivered;
+      ++stats_.messages_in_decisions;
+      if (deliver_) deliver_(m.id.origin, m.id.seq, m.payload);
+    }
+    ++stats_.instances_completed;
+    ++next_decide_;
+    next_instance_ = std::max(next_instance_, next_decide_);
+    stack_->rt().charge_cpu(config_.instance_overhead);
+  }
+  admit_queued();
+  maybe_propose();
+}
+
+// ---------------------------------------------------------------------------
+// Indirect-consensus support ([12])
+// ---------------------------------------------------------------------------
+
+bool ModularAbcast::payload_available(const MsgId& id) const {
+  return delivered_.seen(id.origin, id.seq) ||
+         payload_store_.count(id) != 0;
+}
+
+void ModularAbcast::store_payload(const AppMessage& m) {
+  payload_store_.emplace(m.id, m.payload);
+}
+
+void ModularAbcast::retain_delivered(const MsgId& id) {
+  // Keep the payload around to serve late pulls, bounded FIFO.
+  retained_order_.push_back(id);
+  while (retained_order_.size() > config_.payload_retention) {
+    payload_store_.erase(retained_order_.front());
+    retained_order_.pop_front();
+  }
+}
+
+bool ModularAbcast::validate_value(std::uint64_t k,
+                                   const util::Bytes& value) {
+  if (!config_.indirect_consensus) return true;
+  std::vector<MsgId> missing;
+  for (const MsgId& id : decode_id_batch(value)) {
+    if (!payload_available(id)) missing.push_back(id);
+  }
+  if (missing.empty()) return true;
+  ++stats_.validation_deferrals;
+  waiting_validation_.insert(k);
+  request_payloads(missing);
+  arm_payload_timer();
+  return false;
+}
+
+void ModularAbcast::request_payloads(const std::vector<MsgId>& missing) {
+  util::ByteWriter w(5 + missing.size() * 12);
+  w.u8(kPayloadPull);
+  w.raw(encode_id_batch(missing));
+  stack_->send_wire_to_others(framework::kModAbcast, w.take());
+  stats_.payload_pulls += stack_->group_size() - 1;
+}
+
+void ModularAbcast::on_new_payloads() {
+  if (!waiting_validation_.empty()) {
+    // Re-offer deferred proposals to consensus; the validator re-adds any
+    // instance that is still missing payloads.
+    std::set<std::uint64_t> waiting = std::move(waiting_validation_);
+    waiting_validation_.clear();
+    for (std::uint64_t k : waiting) {
+      stack_->raise(framework::Event::local(
+          framework::kEvRevalidate, framework::ProposeRequestBody{k}));
+    }
+  }
+  apply_ready_decisions();
+}
+
+void ModularAbcast::arm_payload_timer() {
+  if (payload_timer_ != runtime::kInvalidTimer) return;
+  payload_timer_ =
+      stack_->rt().set_timer(config_.payload_pull_retry, [this] {
+        payload_timer_ = runtime::kInvalidTimer;
+        const bool blocked_decision =
+            !ready_decisions_.empty() &&
+            ready_decisions_.begin()->first == next_decide_;
+        if (waiting_validation_.empty() && !blocked_decision) return;
+        // Retry: on_new_payloads re-raises revalidations and re-attempts
+        // the apply, both of which re-issue pulls for what is still
+        // missing.
+        on_new_payloads();
+        if (!waiting_validation_.empty() || !ready_decisions_.empty()) {
+          arm_payload_timer();
+        }
+      });
+}
+
+void ModularAbcast::arm_liveness_timer() {
+  stack_->rt().set_timer(config_.liveness_timeout, [this] {
+    const util::TimePoint now = stack_->rt().now();
+    if (now - last_activity_ >= config_.liveness_timeout &&
+        !pending_ids_.empty()) {
+      // §3.3: silence while holding unordered messages — the sender of some
+      // of them may have crashed mid-diffusion. Re-diffuse what we hold and
+      // start a consensus ourselves.
+      ++stats_.liveness_kicks;
+      for (const AppMessage& m : pending_fifo_) {
+        if (pending_ids_.count(m.id) != 0) diffuse(m);
+      }
+      maybe_propose();
+    }
+    arm_liveness_timer();
+  });
+}
+
+}  // namespace modcast::abcast

@@ -1,0 +1,38 @@
+#include "analysis/analytical_model.hpp"
+
+namespace modcast::analysis {
+
+std::uint64_t modular_messages_per_consensus(std::uint64_t n,
+                                             std::uint64_t m) {
+  return (n - 1) * (m + 2 + (n + 1) / 2);
+}
+
+std::uint64_t monolithic_messages_per_consensus(std::uint64_t n) {
+  return 2 * (n - 1);
+}
+
+double modular_data_per_consensus(std::uint64_t n, std::uint64_t m,
+                                  double l) {
+  return 2.0 * static_cast<double>(n - 1) * static_cast<double>(m) * l;
+}
+
+double monolithic_data_per_consensus(std::uint64_t n, std::uint64_t m,
+                                     double l) {
+  const double nd = static_cast<double>(n);
+  return (nd - 1.0) * (1.0 + 1.0 / nd) * static_cast<double>(m) * l;
+}
+
+double modularity_data_overhead(std::uint64_t n) {
+  const double nd = static_cast<double>(n);
+  return (nd - 1.0) / (nd + 1.0);
+}
+
+std::uint64_t rbcast_messages_classic(std::uint64_t n) {
+  return n * (n - 1);
+}
+
+std::uint64_t rbcast_messages_majority(std::uint64_t n) {
+  return (n - 1) * ((n - 1) / 2 + 1);
+}
+
+}  // namespace modcast::analysis

@@ -1,0 +1,44 @@
+// Closed-form analytical evaluation of §5.2.
+//
+// The paper derives, per consensus execution (M abcast messages adelivered):
+//   messages:  modular    (n−1)(M + 2 + ⌊(n+1)/2⌋)
+//              monolithic 2(n−1)
+//   data:      modular    2(n−1)·M·l bytes
+//              monolithic (n−1)(1 + 1/n)·M·l bytes
+//   overhead:  (Datamod − Datamono) / Datamono = (n−1)/(n+1)
+// plus the reliable broadcast counts: classic ≈ n², majority-optimized
+// (n−1)(⌊(n−1)/2⌋+1).
+//
+// These functions are the reference the measured counters are tested
+// against.
+#pragma once
+
+#include <cstdint>
+
+namespace modcast::analysis {
+
+/// Messages per consensus execution, modular stack (§5.2.1).
+std::uint64_t modular_messages_per_consensus(std::uint64_t n,
+                                             std::uint64_t m);
+
+/// Messages per consensus execution, monolithic stack (§5.2.1).
+std::uint64_t monolithic_messages_per_consensus(std::uint64_t n);
+
+/// Bytes per consensus execution, modular stack (§5.2.2); l = message size.
+double modular_data_per_consensus(std::uint64_t n, std::uint64_t m, double l);
+
+/// Bytes per consensus execution, monolithic stack (§5.2.2).
+double monolithic_data_per_consensus(std::uint64_t n, std::uint64_t m,
+                                     double l);
+
+/// Relative data overhead of the modular stack: (n−1)/(n+1).
+double modularity_data_overhead(std::uint64_t n);
+
+/// Messages for one reliable broadcast, classic algorithm: n(n−1) ≈ n².
+std::uint64_t rbcast_messages_classic(std::uint64_t n);
+
+/// Messages for one reliable broadcast, majority-resend optimization:
+/// (n−1)(⌊(n−1)/2⌋ + 1) = (n−1)·⌊(n+1)/2⌋.
+std::uint64_t rbcast_messages_majority(std::uint64_t n);
+
+}  // namespace modcast::analysis

@@ -1,0 +1,158 @@
+#include "channel/reliable_channel.hpp"
+
+#include <cassert>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace modcast::channel {
+
+namespace {
+constexpr std::uint8_t kData = 1;  ///< [seq][ack][payload]
+constexpr std::uint8_t kAck = 2;   ///< [ack]
+}  // namespace
+
+ReliableChannel::ReliableChannel(runtime::Runtime& rt, ChannelConfig config)
+    : rt_(&rt), config_(config), peers_(rt.group_size()) {}
+
+void ReliableChannel::start() {
+  assert(upper_ != nullptr && "set_upper() before starting the world");
+  upper_->start();
+}
+
+void ReliableChannel::send(util::ProcessId to, util::Bytes msg) {
+  if (to == rt_->self()) {
+    rt_->send(to, std::move(msg));  // loopback: nothing to make reliable
+    return;
+  }
+  Peer& peer = peers_.at(to);
+  const std::uint32_t seq = peer.next_seq++;
+  peer.unacked.emplace(seq, msg);
+  transmit(to, seq, msg);
+  ++stats_.data_sent;
+  arm_rto(to);
+}
+
+void ReliableChannel::transmit(util::ProcessId to, std::uint32_t seq,
+                               const util::Bytes& payload) {
+  Peer& peer = peers_.at(to);
+  util::ByteWriter w(payload.size() + 9);
+  w.u8(kData);
+  w.u32(seq);
+  // Piggyback our cumulative ack for the reverse direction.
+  w.u32(peer.expected);
+  w.raw(payload);
+  // Piggybacked ack supersedes a pending delayed ack.
+  if (peer.ack_timer != runtime::kInvalidTimer) {
+    rt_->cancel_timer(peer.ack_timer);
+    peer.ack_timer = runtime::kInvalidTimer;
+  }
+  rt_->send(to, w.take());
+}
+
+void ReliableChannel::on_message(util::ProcessId from, util::Bytes raw) {
+  if (from == rt_->self()) {
+    if (upper_) upper_->on_message(from, std::move(raw));
+    return;
+  }
+  util::ByteReader r(raw);
+  const std::uint8_t kind = r.u8();
+  Peer& peer = peers_.at(from);
+
+  if (kind == kAck) {
+    process_ack(from, r.u32());
+    return;
+  }
+  if (kind != kData) {
+    MODCAST_WARN("channel: unknown segment kind " + std::to_string(kind));
+    return;
+  }
+
+  const std::uint32_t seq = r.u32();
+  const std::uint32_t ack = r.u32();
+  process_ack(from, ack);
+
+  if (seq < peer.expected) {
+    // Duplicate of something already delivered: our ack was lost; re-ack.
+    ++stats_.duplicates_dropped;
+    schedule_ack(from);
+    return;
+  }
+  if (seq > peer.expected) {
+    // Early segment (a predecessor was dropped): buffer, ask again.
+    if (peer.reorder.emplace(seq, r.raw(r.remaining())).second) {
+      ++stats_.out_of_order_buffered;
+    } else {
+      ++stats_.duplicates_dropped;
+    }
+    schedule_ack(from);
+    return;
+  }
+
+  // In order: deliver, then drain the reorder buffer.
+  util::Bytes payload = r.raw(r.remaining());
+  ++peer.expected;
+  if (upper_) upper_->on_message(from, std::move(payload));
+  while (!peer.reorder.empty() &&
+         peer.reorder.begin()->first == peer.expected) {
+    util::Bytes next = std::move(peer.reorder.begin()->second);
+    peer.reorder.erase(peer.reorder.begin());
+    ++peer.expected;
+    if (upper_) upper_->on_message(from, std::move(next));
+  }
+  schedule_ack(from);
+}
+
+void ReliableChannel::process_ack(util::ProcessId from, std::uint32_t ack) {
+  Peer& peer = peers_.at(from);
+  while (!peer.unacked.empty() && peer.unacked.begin()->first < ack) {
+    peer.unacked.erase(peer.unacked.begin());
+  }
+  if (peer.unacked.empty() &&
+      peer.rto_timer != runtime::kInvalidTimer) {
+    rt_->cancel_timer(peer.rto_timer);
+    peer.rto_timer = runtime::kInvalidTimer;
+  }
+}
+
+void ReliableChannel::schedule_ack(util::ProcessId from) {
+  Peer& peer = peers_.at(from);
+  if (config_.ack_delay <= 0) {
+    send_ack_now(from);
+    return;
+  }
+  if (peer.ack_timer != runtime::kInvalidTimer) return;  // already pending
+  peer.ack_timer = rt_->set_timer(config_.ack_delay, [this, from] {
+    peers_.at(from).ack_timer = runtime::kInvalidTimer;
+    send_ack_now(from);
+  });
+}
+
+void ReliableChannel::send_ack_now(util::ProcessId to) {
+  Peer& peer = peers_.at(to);
+  util::ByteWriter w(5);
+  w.u8(kAck);
+  w.u32(peer.expected);
+  rt_->send(to, w.take());
+  ++stats_.acks_sent;
+}
+
+void ReliableChannel::arm_rto(util::ProcessId to) {
+  Peer& peer = peers_.at(to);
+  if (peer.rto_timer != runtime::kInvalidTimer) return;
+  peer.rto_timer =
+      rt_->set_timer(config_.retransmit_timeout, [this, to] {
+        Peer& peer = peers_.at(to);
+        peer.rto_timer = runtime::kInvalidTimer;
+        if (peer.unacked.empty()) return;
+        std::size_t burst = 0;
+        for (const auto& [seq, payload] : peer.unacked) {
+          if (++burst > config_.retransmit_burst) break;
+          transmit(to, seq, payload);
+          ++stats_.retransmissions;
+        }
+        arm_rto(to);
+      });
+}
+
+}  // namespace modcast::channel

@@ -1,0 +1,113 @@
+// Quasi-reliable FIFO channels over a lossy network (the paper's §2.1
+// channel model, implemented instead of assumed).
+//
+// The paper's testbed ran over TCP; our simulator's channels are reliable
+// by default, so the protocol stacks normally need nothing here. This
+// module exists for the configuration where the network *does* lose
+// messages: it provides exactly the quasi-reliable FIFO service the
+// protocols assume — per-pair sequencing, cumulative acknowledgements,
+// timeout retransmission, duplicate suppression, in-order delivery — the
+// TCP-lite the model section presupposes.
+//
+// Insertion point: ReliableChannel is the runtime::Protocol attached to the
+// world; the real stack sits on top via set_upper() and sends through a
+// ChanneledRuntime facade, so protocol code is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace modcast::channel {
+
+struct ChannelConfig {
+  /// Retransmission timeout for unacknowledged segments.
+  util::Duration retransmit_timeout = util::milliseconds(40);
+  /// Delayed-ack aggregation window (0 = ack immediately).
+  util::Duration ack_delay = util::milliseconds(2);
+  /// At most this many segments retransmitted per timeout (burst limit).
+  std::size_t retransmit_burst = 64;
+};
+
+struct ChannelStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t out_of_order_buffered = 0;
+};
+
+class ReliableChannel final : public runtime::Protocol {
+ public:
+  explicit ReliableChannel(runtime::Runtime& rt, ChannelConfig config = {});
+
+  /// The protocol stack served by this channel (non-owning).
+  void set_upper(runtime::Protocol* upper) { upper_ = upper; }
+
+  /// Reliable in-order send to `to` (self-sends bypass the machinery).
+  void send(util::ProcessId to, util::Bytes msg);
+
+  const ChannelStats& stats() const { return stats_; }
+
+  // runtime::Protocol
+  void start() override;
+  void on_message(util::ProcessId from, util::Bytes raw) override;
+
+ private:
+  struct Peer {
+    // Sender side.
+    std::uint32_t next_seq = 0;
+    std::map<std::uint32_t, util::Bytes> unacked;  ///< seq → payload
+    runtime::TimerId rto_timer = runtime::kInvalidTimer;
+    // Receiver side.
+    std::uint32_t expected = 0;  ///< all seq < expected delivered
+    std::map<std::uint32_t, util::Bytes> reorder;  ///< buffered early segs
+    runtime::TimerId ack_timer = runtime::kInvalidTimer;
+  };
+
+  void transmit(util::ProcessId to, std::uint32_t seq,
+                const util::Bytes& payload);
+  void process_ack(util::ProcessId from, std::uint32_t ack);
+  void schedule_ack(util::ProcessId from);
+  void send_ack_now(util::ProcessId to);
+  void arm_rto(util::ProcessId to);
+
+  runtime::Runtime* rt_;
+  ChannelConfig config_;
+  runtime::Protocol* upper_ = nullptr;
+  std::vector<Peer> peers_;
+  ChannelStats stats_;
+};
+
+/// Runtime facade routing send() through a ReliableChannel; everything else
+/// passes through to the inner runtime. Lets an unmodified Stack run on top
+/// of the channel layer.
+class ChanneledRuntime final : public runtime::Runtime {
+ public:
+  ChanneledRuntime(runtime::Runtime& inner, ReliableChannel& channel)
+      : inner_(&inner), channel_(&channel) {}
+
+  util::ProcessId self() const override { return inner_->self(); }
+  std::size_t group_size() const override { return inner_->group_size(); }
+  util::TimePoint now() const override { return inner_->now(); }
+  void send(util::ProcessId to, util::Bytes msg) override {
+    channel_->send(to, std::move(msg));
+  }
+  runtime::TimerId set_timer(util::Duration delay,
+                             std::function<void()> fn) override {
+    return inner_->set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(runtime::TimerId id) override {
+    inner_->cancel_timer(id);
+  }
+  util::Rng& rng() override { return inner_->rng(); }
+  void charge_cpu(util::Duration cost) override { inner_->charge_cpu(cost); }
+
+ private:
+  runtime::Runtime* inner_;
+  ReliableChannel* channel_;
+};
+
+}  // namespace modcast::channel

@@ -1,0 +1,630 @@
+#include "consensus/chandra_toueg.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace modcast::consensus {
+
+namespace {
+
+// Point-to-point message kinds (kModConsensus wire payloads).
+constexpr std::uint8_t kEstimate = 1;
+constexpr std::uint8_t kProposal = 2;
+constexpr std::uint8_t kAck = 3;
+constexpr std::uint8_t kNack = 4;
+constexpr std::uint8_t kPull = 5;
+constexpr std::uint8_t kFull = 6;
+constexpr std::uint8_t kSolicit = 7;
+
+// Decision payload kinds carried inside the reliable broadcast.
+constexpr std::uint8_t kDecisionTag = 10;
+constexpr std::uint8_t kDecisionFull = 11;
+
+}  // namespace
+
+void ChandraTouegConsensus::init(framework::Stack& stack) {
+  stack_ = &stack;
+  stack.bind_wire(framework::kModConsensus,
+                  [this](util::ProcessId from, util::Bytes msg) {
+                    on_wire(from, std::move(msg));
+                  });
+  stack.bind(framework::kEvPropose, [this](const framework::Event& ev) {
+    auto& body = ev.as<framework::ConsensusValueBody>();
+    propose(body.instance, body.value);
+  });
+  stack.bind(framework::kEvRdeliver, [this](const framework::Event& ev) {
+    auto& body = ev.as<framework::RdeliverBody>();
+    on_rdeliver(body.origin, body.payload);
+  });
+  stack.bind(framework::kEvSuspect, [this](const framework::Event& ev) {
+    on_suspect(ev.as<framework::SuspicionBody>().process);
+  });
+  stack.bind(framework::kEvRevalidate, [this](const framework::Event& ev) {
+    on_revalidate(ev.as<framework::ProposeRequestBody>().instance);
+  });
+}
+
+bool ChandraTouegConsensus::value_ok(std::uint64_t k,
+                                     const util::Bytes& value) const {
+  return !validator_ || validator_(k, value);
+}
+
+util::ProcessId ChandraTouegConsensus::coordinator(std::uint32_t round) const {
+  return (round - 1) % static_cast<std::uint32_t>(stack_->group_size());
+}
+
+std::size_t ChandraTouegConsensus::majority() const {
+  return stack_->group_size() / 2 + 1;
+}
+
+bool ChandraTouegConsensus::suspects(util::ProcessId q) const {
+  return fd_ != nullptr && fd_->suspects(q);
+}
+
+ChandraTouegConsensus::Instance& ChandraTouegConsensus::instance(
+    std::uint64_t k) {
+  auto [it, inserted] = instances_.try_emplace(k);
+  if (inserted) it->second.k = k;
+  return it->second;
+}
+
+const util::Bytes* ChandraTouegConsensus::decision(std::uint64_t k) const {
+  auto it = decisions_.find(k);
+  return it == decisions_.end() ? nullptr : &it->second;
+}
+
+void ChandraTouegConsensus::propose(std::uint64_t k, util::Bytes value) {
+  if (decisions_.count(k) != 0) return;
+  Instance& inst = instance(k);
+  if (inst.has_initial) return;  // initial value already bound
+  inst.has_initial = true;
+  inst.estimate = std::move(value);
+  inst.estimate_ts = 0;
+
+  // Single-process group: trivially decide. Deferred through a zero-delay
+  // timer so a decide → propose(k+1) → decide chain cannot recurse.
+  if (stack_->group_size() == 1) {
+    stack_->rt().set_timer(0, [this, k] {
+      auto it = instances_.find(k);
+      if (it == instances_.end() || it->second.decided) return;
+      decide_local(k, it->second.estimate);
+    });
+    return;
+  }
+
+  if (stack_->self() == coordinator(1) && inst.round == 1 &&
+      inst.proposed_rounds.count(1) == 0 && !inst.decided) {
+    do_propose(inst, 1, inst.estimate);
+    return;
+  }
+
+  // Participant paths: catch up on anything that already happened.
+  if (!inst.decided && inst.round > 1 && stack_->self() != coordinator(inst.round) &&
+      inst.estimate_sent.count(inst.round) == 0) {
+    send_estimate(inst, inst.round, coordinator(inst.round));
+  }
+  if (!inst.decided && inst.round == 1) {
+    if (suspects(coordinator(1))) {
+      // Tell the round-1 coordinator we are moving on — it may be alive
+      // (wrong suspicion) and waiting for our ack.
+      if (inst.acked_rounds.count(1) == 0 &&
+          inst.nacked_rounds.insert(1).second) {
+        util::ByteWriter w(16);
+        w.u8(kNack);
+        w.u64(k);
+        w.u32(1);
+        stack_->send_wire(coordinator(1), framework::kModConsensus,
+                          w.take());
+        ++stats_.nacks_sent;
+      }
+      advance_round(inst);
+    } else if (inst.proposals.count(1) == 0) {
+      arm_nudge(inst);
+    }
+  }
+}
+
+void ChandraTouegConsensus::arm_nudge(Instance& inst) {
+  if (inst.nudge_timer != runtime::kInvalidTimer) return;
+  const std::uint64_t k = inst.k;
+  inst.nudge_timer = stack_->rt().set_timer(
+      config_.proposal_nudge_timeout, [this, k] {
+        auto it = instances_.find(k);
+        if (it == instances_.end()) return;
+        Instance& inst = it->second;
+        inst.nudge_timer = runtime::kInvalidTimer;
+        if (inst.decided || inst.round != 1 || inst.proposals.count(1) != 0 ||
+            !inst.has_initial) {
+          return;
+        }
+        // Re-introduce the estimate phase: hand the coordinator a value.
+        util::ByteWriter w(inst.estimate.size() + 32);
+        w.u8(kEstimate);
+        w.u64(inst.k);
+        w.u32(1);
+        w.u32(inst.estimate_ts);
+        w.blob(inst.estimate);
+        stack_->send_wire(coordinator(1), framework::kModConsensus, w.take());
+        ++stats_.nudges_sent;
+        arm_nudge(inst);  // keep nudging until the proposal shows up
+      });
+}
+
+void ChandraTouegConsensus::do_propose(Instance& inst, std::uint32_t round,
+                                       util::Bytes value) {
+  inst.proposed_rounds.insert(round);
+  inst.proposals[round] = value;
+  inst.estimate = value;
+  inst.estimate_ts = round;
+  inst.has_initial = true;
+  inst.ack_senders[round];  // ensure present; self-ack is counted implicitly
+
+  util::ByteWriter w(value.size() + 16);
+  w.u8(kProposal);
+  w.u64(inst.k);
+  w.u32(round);
+  w.blob(value);
+  stack_->send_wire_to_others(framework::kModConsensus, w.take());
+
+  maybe_decide_as_coordinator(inst, round);
+}
+
+void ChandraTouegConsensus::send_estimate(Instance& inst, std::uint32_t round,
+                                          util::ProcessId coord) {
+  if (!inst.has_initial) return;  // nothing to estimate yet
+  if (!inst.estimate_sent.insert(round).second) return;
+  util::ByteWriter w(inst.estimate.size() + 32);
+  w.u8(kEstimate);
+  w.u64(inst.k);
+  w.u32(round);
+  w.u32(inst.estimate_ts);
+  w.blob(inst.estimate);
+  stack_->send_wire(coord, framework::kModConsensus, w.take());
+}
+
+void ChandraTouegConsensus::advance_round(Instance& inst) {
+  while (!inst.decided) {
+    ++inst.round;
+    const util::ProcessId c = coordinator(inst.round);
+    if (c == stack_->self()) {
+      if (inst.has_initial && inst.own_estimate_added.insert(inst.round).second) {
+        inst.estimates[inst.round].emplace_back(inst.estimate_ts,
+                                                inst.estimate);
+      }
+      check_estimates(inst, inst.round);
+      return;  // we are the coordinator: wait for (more) estimates
+    }
+    send_estimate(inst, inst.round, c);
+    if (!suspects(c)) return;  // wait for this round's coordinator
+    // Already suspected: tell it we moved on and keep rotating. The loop
+    // terminates because our own id comes up within n rounds.
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(inst.k);
+    w.u32(inst.round);
+    stack_->send_wire(c, framework::kModConsensus, w.take());
+    ++stats_.nacks_sent;
+    inst.nacked_rounds.insert(inst.round);
+  }
+}
+
+void ChandraTouegConsensus::check_estimates(Instance& inst,
+                                            std::uint32_t round) {
+  if (inst.decided || coordinator(round) != stack_->self()) return;
+  if (inst.proposed_rounds.count(round) != 0) return;
+
+  auto it = inst.estimates.find(round);
+  if (it == inst.estimates.end()) return;
+  auto& ests = it->second;
+
+  if (round == 1) {
+    // Round 1 normally has no estimate phase; estimates only arrive via the
+    // nudge path, when the coordinator itself has no initial value. Adopt
+    // the first nudged value (ts is always 0 in round 1).
+    if (!inst.has_initial && !ests.empty() && inst.round == 1) {
+      if (!value_ok(inst.k, ests.front().second)) {
+        inst.pending_propose = {1u, ests.front().second};
+        return;
+      }
+      do_propose(inst, 1, ests.front().second);
+    }
+    return;
+  }
+
+  if (ests.size() < majority()) {
+    // Recovery rounds need majority participation, but only processes that
+    // themselves suspected earlier coordinators have joined so far. Ask the
+    // others for their estimates (once per round).
+    if (inst.solicited_rounds.insert(round).second) {
+      util::ByteWriter w(16);
+      w.u8(kSolicit);
+      w.u64(inst.k);
+      w.u32(round);
+      stack_->send_wire_to_others(framework::kModConsensus, w.take());
+    }
+    return;
+  }
+  // Chandra–Toueg locking rule: propose the estimate with the highest
+  // adoption timestamp. Among unlocked (ts = 0) candidates prefer a larger
+  // value — an empty batch must not shadow one that carries messages.
+  auto best = std::max_element(
+      ests.begin(), ests.end(),
+      [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second.size() < b.second.size();
+      });
+  // Locking forces this value; if the layer above cannot act on it yet,
+  // defer the proposal until revalidation (the validator starts recovery).
+  if (!value_ok(inst.k, best->second)) {
+    inst.pending_propose = {round, best->second};
+    return;
+  }
+  inst.round = std::max(inst.round, round);
+  do_propose(inst, round, best->second);
+}
+
+void ChandraTouegConsensus::on_solicit(util::ProcessId from, std::uint64_t k,
+                                       std::uint32_t round) {
+  auto dit = decisions_.find(k);
+  if (dit != decisions_.end()) {
+    // The solicitor lags: hand it the decision directly.
+    util::ByteWriter w(dit->second.size() + 16);
+    w.u8(kFull);
+    w.u64(k);
+    w.blob(dit->second);
+    stack_->send_wire(from, framework::kModConsensus, w.take());
+    return;
+  }
+  Instance& inst = instance(k);
+  if (inst.decided) return;
+  if (round > inst.round) inst.round = round;  // join the recovery round
+  if (inst.has_initial) {
+    send_estimate(inst, round, from);
+  } else {
+    // We never proposed for this instance: ask the layer above for an
+    // initial value (it may legitimately be an empty batch). Its propose()
+    // will send our estimate for the joined round.
+    stack_->raise(framework::Event::local(
+        framework::kEvProposeRequest, framework::ProposeRequestBody{k}));
+  }
+}
+
+void ChandraTouegConsensus::maybe_decide_as_coordinator(Instance& inst,
+                                                        std::uint32_t round) {
+  if (inst.decided || inst.proposed_rounds.count(round) == 0) return;
+  // +1: the coordinator implicitly acks its own proposal.
+  const std::size_t acks = inst.ack_senders[round].size() + 1;
+  if (acks < majority()) return;
+  broadcast_decision(inst, round);
+}
+
+void ChandraTouegConsensus::broadcast_decision(Instance& inst,
+                                               std::uint32_t round) {
+  util::ByteWriter w(64);
+  if (round == 1) {
+    // Good-run optimization: decisions are a tiny tag; everyone holds the
+    // round-1 proposal already (or pulls).
+    w.u8(kDecisionTag);
+    w.u64(inst.k);
+    w.u32(round);
+  } else {
+    w.u8(kDecisionFull);
+    w.u64(inst.k);
+    w.u32(round);
+    w.blob(inst.proposals[round]);
+  }
+  // Hand the decision to the reliable broadcast module. Local rdelivery is
+  // synchronous, so this call chain ends in decide_local() for ourselves.
+  stack_->raise(framework::Event::local(framework::kEvRbcast,
+                                        framework::RbcastBody{w.take()}));
+}
+
+void ChandraTouegConsensus::decide_local(std::uint64_t k, util::Bytes value) {
+  if (decisions_.count(k) != 0) return;
+  decisions_[k] = value;
+  ++stats_.decided;
+
+  auto it = instances_.find(k);
+  if (it != instances_.end()) {
+    Instance& inst = it->second;
+    inst.decided = true;
+    stats_.max_round = std::max(stats_.max_round, inst.round);
+    if (inst.nudge_timer != runtime::kInvalidTimer) {
+      stack_->rt().cancel_timer(inst.nudge_timer);
+      inst.nudge_timer = runtime::kInvalidTimer;
+    }
+    if (inst.pull_timer != runtime::kInvalidTimer) {
+      stack_->rt().cancel_timer(inst.pull_timer);
+      inst.pull_timer = runtime::kInvalidTimer;
+    }
+  }
+
+  stack_->raise(framework::Event::local(
+      framework::kEvDecide,
+      framework::ConsensusValueBody{k, std::move(value)}));
+  prune(k);
+}
+
+void ChandraTouegConsensus::prune(std::uint64_t except_k) {
+  // Never erase `except_k`: callers up the stack may hold a reference to it.
+  while (decisions_.size() > config_.decision_retention) {
+    const std::uint64_t oldest = decisions_.begin()->first;
+    if (oldest == except_k) break;
+    decisions_.erase(decisions_.begin());
+    auto it = instances_.find(oldest);
+    if (it != instances_.end() && it->second.decided) instances_.erase(it);
+  }
+}
+
+void ChandraTouegConsensus::start_pull(Instance& inst) {
+  util::ByteWriter w(16);
+  w.u8(kPull);
+  w.u64(inst.k);
+  stack_->send_wire_to_others(framework::kModConsensus, w.take());
+  stats_.pulls_sent += stack_->group_size() - 1;
+
+  const std::uint64_t k = inst.k;
+  inst.pull_timer =
+      stack_->rt().set_timer(config_.pull_retry, [this, k] {
+        auto it = instances_.find(k);
+        if (it == instances_.end() || it->second.decided) return;
+        it->second.pull_timer = runtime::kInvalidTimer;
+        start_pull(it->second);
+      });
+}
+
+void ChandraTouegConsensus::on_wire(util::ProcessId from, util::Bytes msg) {
+  util::ByteReader r(msg);
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case kEstimate: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      const std::uint32_t ts = r.u32();
+      on_estimate(from, k, round, ts, r.blob());
+      break;
+    }
+    case kProposal: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      on_proposal(from, k, round, r.blob());
+      break;
+    }
+    case kAck: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      on_ack(from, k, round);
+      break;
+    }
+    case kNack: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      on_nack(from, k, round);
+      break;
+    }
+    case kPull:
+      on_pull(from, r.u64());
+      break;
+    case kSolicit: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      on_solicit(from, k, round);
+      break;
+    }
+    case kFull: {
+      const std::uint64_t k = r.u64();
+      if (decisions_.count(k) == 0) decide_local(k, r.blob());
+      break;
+    }
+    default:
+      MODCAST_WARN("consensus: unknown wire kind " + std::to_string(kind));
+  }
+}
+
+void ChandraTouegConsensus::on_estimate(util::ProcessId from, std::uint64_t k,
+                                        std::uint32_t round, std::uint32_t ts,
+                                        util::Bytes value) {
+  (void)from;
+  if (decisions_.count(k) != 0) return;
+  Instance& inst = instance(k);
+  inst.estimates[round].emplace_back(ts, std::move(value));
+  check_estimates(inst, round);
+}
+
+void ChandraTouegConsensus::on_proposal(util::ProcessId from, std::uint64_t k,
+                                        std::uint32_t round,
+                                        util::Bytes value) {
+  Instance& inst = instance(k);
+  inst.proposals[round] = std::move(value);
+
+  if (inst.nudge_timer != runtime::kInvalidTimer && round == 1) {
+    stack_->rt().cancel_timer(inst.nudge_timer);
+    inst.nudge_timer = runtime::kInvalidTimer;
+  }
+
+  // A pending DECISION tag for this round resolves now.
+  if (!inst.decided && inst.pending_tag_round &&
+      *inst.pending_tag_round == round) {
+    decide_local(k, inst.proposals[round]);
+    return;
+  }
+  if (inst.decided || decisions_.count(k) != 0) return;
+
+  if (round < inst.round) {
+    // Stale proposal from a coordinator we moved past (e.g. we advanced on
+    // a wrong suspicion before its proposal arrived). Nack so it advances
+    // too instead of waiting for our ack forever.
+    if (inst.acked_rounds.count(round) == 0 &&
+        inst.nacked_rounds.insert(round).second) {
+      util::ByteWriter w(16);
+      w.u8(kNack);
+      w.u64(k);
+      w.u32(round);
+      stack_->send_wire(from, framework::kModConsensus, w.take());
+      ++stats_.nacks_sent;
+    }
+    return;
+  }
+  if (round > inst.round) inst.round = round;  // catch up
+  if (inst.acked_rounds.count(round) != 0 ||
+      inst.nacked_rounds.count(round) != 0) {
+    return;
+  }
+
+  if (suspects(coordinator(round))) {
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(k);
+    w.u32(round);
+    stack_->send_wire(from, framework::kModConsensus, w.take());
+    ++stats_.nacks_sent;
+    inst.nacked_rounds.insert(round);
+    advance_round(inst);
+    return;
+  }
+
+  // Extended-specification gate ([12]): do not ack a value the layer above
+  // cannot act on yet (e.g. ids whose payloads we miss). The validator
+  // initiates whatever recovery it needs and raises kEvRevalidate later.
+  if (!value_ok(k, inst.proposals[round])) {
+    inst.pending_ack_round = round;
+    return;
+  }
+  adopt_and_ack(inst, round);
+}
+
+void ChandraTouegConsensus::adopt_and_ack(Instance& inst,
+                                          std::uint32_t round) {
+  // Chandra–Toueg: estimate := v, ts := r, then ack to the coordinator.
+  inst.estimate = inst.proposals[round];
+  inst.estimate_ts = round;
+  inst.has_initial = true;
+  inst.acked_rounds.insert(round);
+  inst.pending_ack_round.reset();
+  util::ByteWriter w(16);
+  w.u8(kAck);
+  w.u64(inst.k);
+  w.u32(round);
+  stack_->send_wire(coordinator(round), framework::kModConsensus, w.take());
+}
+
+void ChandraTouegConsensus::on_revalidate(std::uint64_t k) {
+  auto it = instances_.find(k);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (inst.decided || decisions_.count(k) != 0) return;
+
+  // Deferred ack: the proposal for our current round may validate now.
+  if (inst.pending_ack_round && *inst.pending_ack_round == inst.round &&
+      inst.acked_rounds.count(inst.round) == 0 &&
+      inst.nacked_rounds.count(inst.round) == 0) {
+    auto pit = inst.proposals.find(inst.round);
+    if (pit != inst.proposals.end() && value_ok(k, pit->second)) {
+      adopt_and_ack(inst, inst.round);
+    }
+  }
+
+  // Deferred proposal: the locked value we must propose may validate now.
+  if (inst.pending_propose) {
+    const std::uint32_t round = inst.pending_propose->first;
+    if (coordinator(round) == stack_->self() &&
+        inst.proposed_rounds.count(round) == 0 &&
+        value_ok(k, inst.pending_propose->second)) {
+      util::Bytes value = std::move(inst.pending_propose->second);
+      inst.pending_propose.reset();
+      inst.round = std::max(inst.round, round);
+      do_propose(inst, round, std::move(value));
+    }
+  }
+}
+
+void ChandraTouegConsensus::on_ack(util::ProcessId from, std::uint64_t k,
+                                   std::uint32_t round) {
+  if (decisions_.count(k) != 0) return;
+  Instance& inst = instance(k);
+  if (coordinator(round) != stack_->self()) return;
+  if (inst.proposed_rounds.count(round) == 0) return;
+  inst.ack_senders[round].insert(from);
+  maybe_decide_as_coordinator(inst, round);
+}
+
+void ChandraTouegConsensus::on_nack(util::ProcessId from, std::uint64_t k,
+                                    std::uint32_t round) {
+  (void)from;
+  if (decisions_.count(k) != 0) return;
+  Instance& inst = instance(k);
+  if (coordinator(round) != stack_->self()) return;
+  if (inst.decided) return;
+  // Our round failed; move on as a participant of later rounds. A decision
+  // can still complete if a majority of acks arrives afterwards — that is
+  // safe (the value is locked by the majority).
+  if (inst.round == round) advance_round(inst);
+}
+
+void ChandraTouegConsensus::on_pull(util::ProcessId from, std::uint64_t k) {
+  auto it = decisions_.find(k);
+  if (it == decisions_.end()) return;
+  util::ByteWriter w(it->second.size() + 16);
+  w.u8(kFull);
+  w.u64(k);
+  w.blob(it->second);
+  stack_->send_wire(from, framework::kModConsensus, w.take());
+}
+
+void ChandraTouegConsensus::on_rdeliver(util::ProcessId origin,
+                                        const util::Bytes& payload) {
+  (void)origin;
+  util::ByteReader r(payload);
+  const std::uint8_t kind = r.u8();
+  if (kind == kDecisionTag) {
+    const std::uint64_t k = r.u64();
+    const std::uint32_t round = r.u32();
+    if (decisions_.count(k) != 0) return;
+    Instance& inst = instance(k);
+    auto pit = inst.proposals.find(round);
+    if (pit != inst.proposals.end()) {
+      decide_local(k, pit->second);
+    } else {
+      // We never saw the proposal the tag refers to: pull the full value.
+      inst.pending_tag_round = round;
+      if (inst.pull_timer == runtime::kInvalidTimer) start_pull(inst);
+    }
+  } else if (kind == kDecisionFull) {
+    const std::uint64_t k = r.u64();
+    r.u32();  // round (diagnostic only)
+    if (decisions_.count(k) == 0) decide_local(k, r.blob());
+  } else {
+    MODCAST_WARN("consensus: unknown rdeliver kind " + std::to_string(kind));
+  }
+}
+
+void ChandraTouegConsensus::on_suspect(util::ProcessId q) {
+  // Move every undecided instance whose current coordinator is q to the
+  // next round (the paper's "new round starts only if the coordinator is
+  // suspected"). Advancing a round can synchronously decide and prune, so
+  // iterate a snapshot of keys, re-looking each one up.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(instances_.size());
+  for (const auto& [k, inst] : instances_) keys.push_back(k);
+  for (std::uint64_t k : keys) {
+    auto it = instances_.find(k);
+    if (it == instances_.end()) continue;
+    Instance& inst = it->second;
+    if (inst.decided) continue;
+    if (coordinator(inst.round) != q) continue;
+    if (q == stack_->self()) continue;  // never suspect self
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(k);
+    w.u32(inst.round);
+    stack_->send_wire(q, framework::kModConsensus, w.take());
+    ++stats_.nacks_sent;
+    inst.nacked_rounds.insert(inst.round);
+    advance_round(inst);
+  }
+}
+
+}  // namespace modcast::consensus

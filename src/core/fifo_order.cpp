@@ -1,0 +1,34 @@
+#include "core/fifo_order.hpp"
+
+namespace modcast::core {
+
+void FifoOrderAdapter::on_deliver(util::ProcessId origin, std::uint64_t seq,
+                                  const util::Bytes& payload) {
+  auto& next = next_[origin];
+  if (seq != next) {
+    // Early (seq > next): hold. A duplicate/late (seq < next) cannot happen
+    // — atomic broadcast delivers each id once.
+    held_[origin].emplace(seq, payload);
+    return;
+  }
+  downstream_(origin, next, payload);
+  ++next;
+  // Release everything now contiguous.
+  auto hit = held_.find(origin);
+  if (hit == held_.end()) return;
+  auto& pending = hit->second;
+  while (!pending.empty() && pending.begin()->first == next) {
+    downstream_(origin, next, pending.begin()->second);
+    pending.erase(pending.begin());
+    ++next;
+  }
+  if (pending.empty()) held_.erase(hit);
+}
+
+std::size_t FifoOrderAdapter::held() const {
+  std::size_t total = 0;
+  for (const auto& [origin, pending] : held_) total += pending.size();
+  return total;
+}
+
+}  // namespace modcast::core

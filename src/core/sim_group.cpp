@@ -1,0 +1,113 @@
+#include "core/sim_group.hpp"
+
+#include <set>
+#include <string>
+
+namespace modcast::core {
+
+SimGroup::SimGroup(SimGroupConfig config) : config_(config) {
+  runtime::SimWorldConfig wc;
+  wc.n = config.n;
+  wc.cpu = config.cpu;
+  wc.net = config.net;
+  wc.seed = config.seed;
+  world_ = std::make_unique<runtime::SimWorld>(wc);
+
+  if (config.drop_probability > 0.0) {
+    drop_rng_ = util::Rng(config.seed ^ 0xd20bULL);
+    world_->network().set_drop(
+        [this](util::ProcessId, util::ProcessId) {
+          return drop_rng_.chance(config_.drop_probability);
+        });
+  }
+
+  deliveries_.resize(config.n);
+  payloads_.resize(config.n);
+  procs_.reserve(config.n);
+  for (util::ProcessId p = 0; p < config.n; ++p) {
+    runtime::Runtime* rt = &world_->runtime(p);
+    if (config.reliable_channels) {
+      channels_.push_back(std::make_unique<channel::ReliableChannel>(
+          *rt, config.channel));
+      channeled_rts_.push_back(std::make_unique<channel::ChanneledRuntime>(
+          *rt, *channels_.back()));
+      rt = channeled_rts_.back().get();
+    }
+    auto proc = std::make_unique<AbcastProcess>(*rt, config.stack);
+    if (config.record_deliveries) {
+      proc->set_deliver_handler([this, p](util::ProcessId origin,
+                                          std::uint64_t seq,
+                                          const util::Bytes& payload) {
+        deliveries_[p].push_back(
+            DeliveryRecord{origin, seq, world_->now(), payload.size()});
+        if (config_.record_payloads) payloads_[p].push_back(payload);
+      });
+    }
+    if (config.reliable_channels) {
+      channels_[p]->set_upper(&proc->protocol());
+      world_->attach(p, channels_[p].get());
+    } else {
+      world_->attach(p, &proc->protocol());
+    }
+    procs_.push_back(std::move(proc));
+  }
+}
+
+ContractViolation check_total_order(const SimGroup& group) {
+  // 1. No duplicates within any log (uniform integrity).
+  for (util::ProcessId p = 0; p < group.size(); ++p) {
+    std::set<std::pair<util::ProcessId, std::uint64_t>> seen;
+    for (const auto& d : group.deliveries(p)) {
+      if (!seen.insert({d.origin, d.seq}).second) {
+        return {false, "process " + std::to_string(p) +
+                           " delivered (" + std::to_string(d.origin) + "," +
+                           std::to_string(d.seq) + ") twice"};
+      }
+    }
+  }
+  // 2. Pairwise prefix compatibility (uniform total order).
+  for (util::ProcessId a = 0; a < group.size(); ++a) {
+    for (util::ProcessId b = a + 1; b < group.size(); ++b) {
+      const auto& la = group.deliveries(a);
+      const auto& lb = group.deliveries(b);
+      const std::size_t common = std::min(la.size(), lb.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (!(la[i] == lb[i])) {
+          return {false,
+                  "order divergence at index " + std::to_string(i) +
+                      " between process " + std::to_string(a) + " (" +
+                      std::to_string(la[i].origin) + "," +
+                      std::to_string(la[i].seq) + ") and process " +
+                      std::to_string(b) + " (" + std::to_string(lb[i].origin) +
+                      "," + std::to_string(lb[i].seq) + ")"};
+        }
+      }
+    }
+  }
+  return {};
+}
+
+ContractViolation check_agreement_among_correct(const SimGroup& group) {
+  auto base = check_total_order(group);
+  if (!base.ok) return base;
+  // All correct processes must have the same log length (hence, by prefix
+  // compatibility, identical logs).
+  std::size_t expect = SIZE_MAX;
+  util::ProcessId ref = 0;
+  for (util::ProcessId p = 0; p < group.size(); ++p) {
+    if (group.crashed(p)) continue;
+    if (expect == SIZE_MAX) {
+      expect = group.deliveries(p).size();
+      ref = p;
+    } else if (group.deliveries(p).size() != expect) {
+      return {false, "correct processes " + std::to_string(ref) + " and " +
+                         std::to_string(p) + " delivered " +
+                         std::to_string(expect) + " vs " +
+                         std::to_string(group.deliveries(p).size()) +
+                         " messages"};
+    }
+  }
+  return {};
+}
+
+}  // namespace modcast::core

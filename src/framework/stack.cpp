@@ -1,0 +1,100 @@
+#include "framework/stack.hpp"
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace modcast::framework {
+
+Stack::Stack(runtime::Runtime& rt, util::Duration crossing_cost)
+    : rt_(&rt), crossing_cost_(crossing_cost) {}
+
+void Stack::add(Module& module) {
+  modules_.push_back(&module);
+  module.init(*this);
+}
+
+void Stack::bind(EventType type, std::function<void(const Event&)> handler) {
+  bindings_[type].push_back(std::move(handler));
+}
+
+void Stack::bind_wire(
+    ModuleId module_id,
+    std::function<void(util::ProcessId, util::Bytes)> handler) {
+  wire_bindings_[module_id] = std::move(handler);
+}
+
+void Stack::raise(Event event) {
+  auto it = bindings_.find(event.type);
+  if (it == bindings_.end()) return;
+  if (tracer_) {
+    tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kLocalEvent,
+                        event.type, util::kInvalidProcess, 0});
+  }
+  for (auto& handler : it->second) {
+    ++counters_.local_events;
+    if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
+    handler(event);
+  }
+}
+
+void Stack::send_wire(util::ProcessId to, ModuleId module_id,
+                      const util::Bytes& payload) {
+  ++counters_.wire_sends;
+  auto& wc = wire_counters_[module_id];
+  ++wc.messages_sent;
+  wc.bytes_sent += payload.size() + 1;
+  if (tracer_) {
+    tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kWireSend,
+                        module_id, to, payload.size()});
+  }
+  if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
+  util::ByteWriter w(payload.size() + 1);
+  w.u8(module_id);
+  w.raw(payload);
+  rt_->send(to, w.take());
+}
+
+const ModuleWireCounters& Stack::wire_counters(ModuleId module_id) const {
+  return wire_counters_[module_id];
+}
+
+void Stack::reset_wire_counters() {
+  wire_counters_.fill(ModuleWireCounters{});
+}
+
+void Stack::send_wire_to_others(ModuleId module_id,
+                                const util::Bytes& payload) {
+  const auto n = static_cast<util::ProcessId>(rt_->group_size());
+  for (util::ProcessId p = 0; p < n; ++p) {
+    if (p != rt_->self()) send_wire(p, module_id, payload);
+  }
+}
+
+void Stack::start() {
+  for (Module* m : modules_) m->start();
+}
+
+void Stack::on_message(util::ProcessId from, util::Bytes msg) {
+  if (msg.empty()) {
+    MODCAST_WARN("stack: dropped empty message");
+    return;
+  }
+  const ModuleId module_id = msg[0];
+  auto it = wire_bindings_.find(module_id);
+  if (it == wire_bindings_.end()) {
+    MODCAST_WARN("stack: no module bound for wire id " +
+                 std::to_string(module_id));
+    return;
+  }
+  ++counters_.wire_deliveries;
+  ++wire_counters_[module_id].messages_received;
+  if (tracer_) {
+    tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kWireDeliver,
+                        module_id, from, msg.size() - 1});
+  }
+  if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
+  msg.erase(msg.begin());
+  it->second(from, std::move(msg));
+}
+
+}  // namespace modcast::framework

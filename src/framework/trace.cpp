@@ -1,0 +1,41 @@
+#include "framework/trace.hpp"
+
+#include <cstdio>
+
+namespace modcast::framework {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kLocalEvent: return "event";
+    case TraceKind::kWireSend: return "send";
+    case TraceKind::kWireDeliver: return "recv";
+  }
+  return "?";
+}
+
+std::string RingTrace::dump(std::size_t max_lines) const {
+  std::string out;
+  std::size_t printed = 0;
+  for (const auto& r : records_) {
+    if (printed++ >= max_lines) {
+      out += "... (" + std::to_string(records_.size() - max_lines) +
+             " more)\n";
+      break;
+    }
+    char line[128];
+    if (r.kind == TraceKind::kLocalEvent) {
+      std::snprintf(line, sizeof line, "%10.3fms p%u %-5s type=%u\n",
+                    util::to_milliseconds(r.at), r.process,
+                    to_string(r.kind), r.code);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%10.3fms p%u %-5s module=%u peer=p%u %zuB\n",
+                    util::to_milliseconds(r.at), r.process,
+                    to_string(r.kind), r.code, r.peer, r.size);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace modcast::framework

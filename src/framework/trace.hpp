@@ -1,0 +1,77 @@
+// Structured protocol tracing.
+//
+// A Stack can be given a TraceSink; it then reports every module-boundary
+// crossing — local event dispatches, wire sends, wire deliveries — as a
+// structured record. Useful for debugging protocol runs ("why did instance
+// 17 stall?") and for the observability a composition framework owes its
+// users; the record stream is also what the framework-cost microbenches
+// reason about.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace modcast::framework {
+
+enum class TraceKind : std::uint8_t {
+  kLocalEvent,   ///< code = EventType
+  kWireSend,     ///< code = ModuleId, peer = destination
+  kWireDeliver,  ///< code = ModuleId, peer = sender
+};
+
+struct TraceRecord {
+  util::TimePoint at = 0;
+  util::ProcessId process = util::kInvalidProcess;
+  TraceKind kind = TraceKind::kLocalEvent;
+  std::uint16_t code = 0;
+  util::ProcessId peer = util::kInvalidProcess;
+  std::size_t size = 0;  ///< payload bytes (wire records)
+};
+
+using TraceSink = std::function<void(const TraceRecord&)>;
+
+/// Bounded in-memory trace: keeps the most recent `capacity` records.
+class RingTrace {
+ public:
+  explicit RingTrace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  TraceSink sink() {
+    return [this](const TraceRecord& rec) { add(rec); };
+  }
+
+  void add(const TraceRecord& rec) {
+    records_.push_back(rec);
+    ++total_;
+    if (records_.size() > capacity_) records_.pop_front();
+  }
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  std::uint64_t total() const { return total_; }
+  void clear() { records_.clear(); }
+
+  /// Count of retained records matching a kind (and optional code).
+  std::size_t count(TraceKind kind, int code = -1) const {
+    std::size_t c = 0;
+    for (const auto& r : records_) {
+      if (r.kind == kind && (code < 0 || r.code == code)) ++c;
+    }
+    return c;
+  }
+
+  /// Human-readable dump (for examples and debugging sessions).
+  std::string dump(std::size_t max_lines = 100) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+const char* to_string(TraceKind kind);
+
+}  // namespace modcast::framework

@@ -1,0 +1,989 @@
+#include "monolithic/monolithic_abcast.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace modcast::monolithic {
+
+namespace {
+
+constexpr std::uint8_t kCombined = 1;      ///< proposal (+ optional decision tag)
+constexpr std::uint8_t kAck = 2;           ///< ack (+ piggybacked app messages)
+constexpr std::uint8_t kForward = 3;       ///< standalone app messages
+constexpr std::uint8_t kDecisionTag = 4;   ///< decision without value
+constexpr std::uint8_t kEstimate = 5;      ///< recovery estimate (+ piggyback)
+constexpr std::uint8_t kProposal = 6;      ///< recovery-round proposal
+constexpr std::uint8_t kDecisionFull = 7;  ///< decision with value (relayed)
+constexpr std::uint8_t kNack = 8;
+constexpr std::uint8_t kPull = 9;
+constexpr std::uint8_t kFullReply = 10;
+constexpr std::uint8_t kSolicit = 11;      ///< recovery coordinator requests estimates
+
+constexpr std::uint8_t kFlagHasDecision = 0x1;
+
+// relayed_decisions_ channels.
+constexpr std::uint32_t kRelayTagChannel = 0;
+constexpr std::uint32_t kRelayFullChannel = 1;
+
+}  // namespace
+
+void MonolithicAbcast::init(framework::Stack& stack) {
+  stack_ = &stack;
+  stack.bind_wire(framework::kModMonolithic,
+                  [this](util::ProcessId from, util::Bytes msg) {
+                    on_wire(from, std::move(msg));
+                  });
+  stack.bind(framework::kEvSuspect, [this](const framework::Event& ev) {
+    on_suspect(ev.as<framework::SuspicionBody>().process);
+  });
+}
+
+void MonolithicAbcast::start() {
+  last_activity_ = stack_->rt().now();
+  arm_liveness_timer();
+}
+
+// --------------------------------------------------------------------------
+// Identity helpers
+// --------------------------------------------------------------------------
+
+util::ProcessId MonolithicAbcast::coordinator(std::uint32_t round) const {
+  return (round - 1) % static_cast<std::uint32_t>(stack_->group_size());
+}
+
+std::size_t MonolithicAbcast::majority() const {
+  return stack_->group_size() / 2 + 1;
+}
+
+bool MonolithicAbcast::suspects(util::ProcessId q) const {
+  return fd_ != nullptr && fd_->suspects(q);
+}
+
+bool MonolithicAbcast::i_am_initial_coordinator() const {
+  return stack_->self() == coordinator(1);
+}
+
+MonolithicAbcast::Instance& MonolithicAbcast::instance(std::uint64_t k) {
+  auto [it, inserted] = instances_.try_emplace(k);
+  if (inserted) it->second.k = k;
+  return it->second;
+}
+
+bool MonolithicAbcast::is_designated_resender(util::ProcessId origin,
+                                              util::ProcessId relay) const {
+  const auto n = static_cast<std::uint32_t>(stack_->group_size());
+  const std::uint32_t resenders = (n - 1) / 2;
+  for (std::uint32_t i = 1; i <= resenders; ++i) {
+    if ((origin + i) % n == relay) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Application side / flow control
+// --------------------------------------------------------------------------
+
+std::uint64_t MonolithicAbcast::abcast(util::Bytes payload) {
+  app_queue_.push_back(std::move(payload));
+  const std::uint64_t seq = next_seq_ + app_queue_.size() - 1;
+  admit_queued();
+  if (i_am_initial_coordinator()) try_start_instance();
+  recheck_active_estimates();
+  return seq;
+}
+
+void MonolithicAbcast::admit_queued() {
+  while (in_flight_ < config_.window && !app_queue_.empty()) {
+    abcast::AppMessage m;
+    m.id = abcast::MsgId{stack_->self(), next_seq_++};
+    m.payload = std::move(app_queue_.front());
+    app_queue_.pop_front();
+    ++in_flight_;
+    ++stats_.admitted;
+    if (admit_) admit_(m.id.seq);
+    own_pending_[m.id] = m.payload;
+    route_message(std::move(m));
+  }
+}
+
+void MonolithicAbcast::route_message(abcast::AppMessage m) {
+  if (!config_.opt_piggyback) {
+    // Modular-style diffusion: everyone gets (and pools) the message.
+    util::ByteWriter w(m.payload.size() + 32);
+    w.u8(kForward);
+    w.raw(abcast::encode_batch({m}));
+    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+    pool_add(std::move(m));
+    return;
+  }
+  if (i_am_initial_coordinator()) {
+    pool_add(std::move(m));
+    return;
+  }
+  // §4.2: queue for the coordinator; the message rides the next ack, or a
+  // small standalone FORWARD if the system is idle.
+  outbox_.push_back(std::move(m));
+  arm_flush_timer();
+}
+
+void MonolithicAbcast::arm_flush_timer() {
+  if (flush_timer_ != runtime::kInvalidTimer || outbox_.empty()) return;
+  flush_timer_ = stack_->rt().set_timer(config_.forward_flush_delay, [this] {
+    flush_timer_ = runtime::kInvalidTimer;
+    flush_outbox_standalone();
+  });
+}
+
+void MonolithicAbcast::flush_outbox_standalone() {
+  if (outbox_.empty()) return;
+  std::vector<abcast::AppMessage> batch(outbox_.begin(), outbox_.end());
+  outbox_.clear();
+  util::ByteWriter w;
+  w.u8(kForward);
+  w.raw(abcast::encode_batch(batch));
+  // Route to the coordinator of the instance currently making progress. If
+  // the initial coordinator is suspected and no instance is active, spin up
+  // recovery first so the forward goes to a live coordinator.
+  auto route = [this] {
+    auto it = instances_.find(next_decide_);
+    if (it != instances_.end() && !it->second.decided) {
+      return coordinator(it->second.round);
+    }
+    return coordinator(1);
+  };
+  util::ProcessId target = route();
+  if (suspects(target)) {
+    // Re-queue the batch so ensure_instance_progress sees it as pending,
+    // then re-resolve the route.
+    for (auto& m : batch) outbox_.push_back(m);
+    ensure_instance_progress();
+    outbox_.clear();
+    target = route();
+    if (suspects(target)) {
+      // Still no live coordinator known: the estimates sent while advancing
+      // already carry own_pending_; nothing more to do now.
+      return;
+    }
+  }
+  if (target == stack_->self()) {
+    for (auto& m : batch) pool_add(std::move(m));
+    try_start_instance();
+    return;
+  }
+  stack_->send_wire(target, framework::kModMonolithic, w.take());
+  ++stats_.forwards_sent;
+}
+
+void MonolithicAbcast::pool_add(abcast::AppMessage m) {
+  if (delivered_.seen(m.id.origin, m.id.seq)) return;
+  if (pool_ids_.count(m.id) != 0) return;
+  pool_ids_.insert(m.id);
+  pool_fifo_.push_back(std::move(m));
+}
+
+std::vector<abcast::AppMessage> MonolithicAbcast::take_batch() {
+  std::vector<abcast::AppMessage> batch;
+  std::deque<abcast::AppMessage> keep;
+  while (!pool_fifo_.empty()) {
+    abcast::AppMessage& m = pool_fifo_.front();
+    if (pool_ids_.count(m.id) != 0) {
+      if (batch.size() < config_.max_batch) batch.push_back(m);
+      keep.push_back(std::move(m));
+    }
+    pool_fifo_.pop_front();
+  }
+  pool_fifo_ = std::move(keep);
+  return batch;
+}
+
+util::Bytes MonolithicAbcast::build_estimate_value() {
+  // Recovery initial value: own undelivered messages plus whatever we have
+  // pooled — safety (not losing messages) over compactness in bad runs.
+  std::vector<abcast::AppMessage> batch;
+  std::set<abcast::MsgId> added;
+  for (const auto& [id, payload] : own_pending_) {
+    batch.push_back(abcast::AppMessage{id, payload});
+    added.insert(id);
+  }
+  for (const auto& m : pool_fifo_) {
+    if (pool_ids_.count(m.id) == 0 || added.count(m.id) != 0) continue;
+    if (batch.size() >= config_.max_batch * 2) break;
+    batch.push_back(m);
+    added.insert(m.id);
+  }
+  return abcast::encode_batch(batch);
+}
+
+// --------------------------------------------------------------------------
+// Coordinator good path
+// --------------------------------------------------------------------------
+
+bool MonolithicAbcast::try_start_instance() {
+  if (!i_am_initial_coordinator()) return false;
+  next_start_ = std::max(next_start_, next_decide_);
+  const std::uint64_t k = next_start_;
+  if (k != next_decide_) return false;  // previous instance still in flight
+  if (decisions_.count(k) != 0) return false;
+  {
+    auto it = instances_.find(k);
+    if (it != instances_.end() &&
+        (it->second.proposed_rounds.count(1) != 0 || it->second.round > 1)) {
+      return false;  // already started (or recovery in progress)
+    }
+  }
+
+  std::vector<abcast::AppMessage> batch = take_batch();
+  if (batch.empty()) return false;
+
+  Instance& inst = instance(k);
+  util::Bytes value = abcast::encode_batch(batch);
+  inst.proposed_rounds.insert(1);
+  inst.proposals[1] = value;
+  inst.estimate = value;
+  inst.estimate_ts = 1;
+  inst.has_estimate = true;
+  inst.ack_senders[1];
+
+  // §4.1: piggyback the previous decision's tag on this proposal.
+  const bool has_dec =
+      config_.opt_combine && k > 0 && decisions_.count(k - 1) != 0;
+  util::ByteWriter w(value.size() + 32);
+  w.u8(kCombined);
+  w.u8(has_dec ? kFlagHasDecision : 0);
+  if (has_dec) {
+    w.u64(k - 1);
+    w.u32(decision_rounds_[k - 1]);
+    ++stats_.combined_sent;
+  }
+  w.u64(k);
+  w.raw(value);
+  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+
+  next_start_ = k + 1;
+  arm_retransmit(inst, 1);
+  if (majority() == 1) {
+    // Degenerate tiny group: decide via a zero-delay timer so a decide →
+    // start(k+1) → decide chain cannot recurse unboundedly.
+    stack_->rt().set_timer(0, [this, k] {
+      auto it = instances_.find(k);
+      if (it == instances_.end() || it->second.decided) return;
+      maybe_decide_as_coordinator(it->second, it->second.round);
+    });
+  }
+  return true;
+}
+
+void MonolithicAbcast::arm_retransmit(Instance& inst, std::uint32_t round) {
+  const std::uint64_t k = inst.k;
+  if (inst.retransmit_timer != runtime::kInvalidTimer) {
+    stack_->rt().cancel_timer(inst.retransmit_timer);
+  }
+  inst.retransmit_timer = stack_->rt().set_timer(
+      config_.ack_retransmit, [this, k, round] {
+        auto it = instances_.find(k);
+        if (it == instances_.end()) return;
+        Instance& inst = it->second;
+        inst.retransmit_timer = runtime::kInvalidTimer;
+        if (inst.decided || inst.round != round ||
+            inst.proposed_rounds.count(round) == 0) {
+          return;
+        }
+        // Resend the proposal to everyone that has not acked yet.
+        util::ByteWriter w(inst.proposals[round].size() + 32);
+        w.u8(kProposal);
+        w.u64(k);
+        w.u32(round);
+        w.raw(inst.proposals[round]);
+        const util::Bytes msg = w.take();
+        const auto n = static_cast<util::ProcessId>(stack_->group_size());
+        const auto& acked = inst.ack_senders[round];
+        for (util::ProcessId p = 0; p < n; ++p) {
+          if (p == stack_->self() || acked.count(p) != 0) continue;
+          stack_->send_wire(p, framework::kModMonolithic, msg);
+          ++stats_.retransmissions;
+        }
+        arm_retransmit(inst, round);
+      });
+}
+
+void MonolithicAbcast::coordinator_decided(Instance& inst,
+                                           std::uint32_t round) {
+  const std::uint64_t k = inst.k;
+  util::Bytes batch = inst.proposals[round];
+  decide(k, round, batch);  // applies locally; admits new own messages
+
+  if (round > 1) {
+    // Recovery decision: full value, relayed on first receipt for safety.
+    relayed_decisions_.mark(kRelayFullChannel, k);  // don't re-relay our own
+    broadcast_decision_fallback(k, round, batch, /*relay_seen=*/false);
+    return;
+  }
+
+  if (!config_.opt_cheap_decision) {
+    // Without §4.3: reliable-broadcast the tag (designated resenders relay),
+    // same cost profile as the modular stack's decision diffusion.
+    relayed_decisions_.mark(kRelayTagChannel, k);
+    util::ByteWriter w(16);
+    w.u8(kDecisionTag);
+    w.u64(k);
+    w.u32(round);
+    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+    ++stats_.standalone_tags;
+    try_start_instance();
+    return;
+  }
+
+  // §4.1/§4.3: prefer carrying the decision tag on the next proposal; fall
+  // back to a standalone (n−1)-message tag when there is nothing to order.
+  const bool started = try_start_instance();
+  if (!started || !config_.opt_combine) {
+    util::ByteWriter w(16);
+    w.u8(kDecisionTag);
+    w.u64(k);
+    w.u32(round);
+    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+    ++stats_.standalone_tags;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Round machinery (recovery)
+// --------------------------------------------------------------------------
+
+void MonolithicAbcast::advance_round(Instance& inst) {
+  while (!inst.decided) {
+    ++inst.round;
+    const util::ProcessId c = coordinator(inst.round);
+    if (c == stack_->self()) {
+      check_estimates(inst, inst.round);
+      return;
+    }
+    send_estimate(inst, inst.round, c);
+    if (!suspects(c)) return;
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(inst.k);
+    w.u32(inst.round);
+    stack_->send_wire(c, framework::kModMonolithic, w.take());
+    inst.nacked_rounds.insert(inst.round);
+  }
+}
+
+void MonolithicAbcast::send_estimate(Instance& inst, std::uint32_t round,
+                                     util::ProcessId coord) {
+  if (!inst.estimate_sent.insert(round).second) return;
+  if (!inst.has_estimate) {
+    inst.estimate = build_estimate_value();
+    inst.estimate_ts = 0;
+    inst.has_estimate = true;
+  }
+  // §4.2 fallback: re-piggyback undelivered own messages on the estimate to
+  // the new coordinator.
+  std::vector<abcast::AppMessage> piggy;
+  for (const auto& [id, payload] : own_pending_) {
+    piggy.push_back(abcast::AppMessage{id, payload});
+  }
+  outbox_.clear();  // superseded: everything undelivered rides this estimate
+
+  util::ByteWriter w(inst.estimate.size() + 64);
+  w.u8(kEstimate);
+  w.u64(inst.k);
+  w.u32(round);
+  w.u32(inst.estimate_ts);
+  w.blob(inst.estimate);
+  w.raw(abcast::encode_batch(piggy));
+  stack_->send_wire(coord, framework::kModMonolithic, w.take());
+}
+
+bool MonolithicAbcast::batch_is_empty(const util::Bytes& value) {
+  if (value.size() < 4) return true;
+  util::ByteReader r(value);
+  return r.u32() == 0;
+}
+
+void MonolithicAbcast::check_estimates(Instance& inst, std::uint32_t round) {
+  if (inst.decided || coordinator(round) != stack_->self()) return;
+  if (inst.proposed_rounds.count(round) != 0) return;
+  if (round < inst.round) return;
+
+  auto& ests = inst.estimates[round];
+  if (inst.own_estimate_added.insert(round).second) {
+    if (!inst.has_estimate) {
+      inst.estimate = build_estimate_value();
+      inst.estimate_ts = 0;
+      inst.has_estimate = true;
+    }
+    ests[stack_->self()] = {inst.estimate_ts, inst.estimate};
+  } else if (!inst.decided && ests.count(stack_->self()) != 0 &&
+             ests[stack_->self()].first == 0) {
+    // Our recorded estimate is unlocked (ts = 0): refresh it from the pool,
+    // which may have grown via piggybacked messages since we recorded it.
+    if (inst.estimate_ts == 0) {
+      inst.estimate = build_estimate_value();
+      inst.has_estimate = true;
+    }
+    ests[stack_->self()] = {inst.estimate_ts, inst.estimate};
+  }
+  const bool have_majority = ests.size() >= majority();
+  if (!have_majority || ests.size() < stack_->group_size()) {
+    // Not enough participants (or we are holding on all-empty estimates
+    // below and the value-holder may not have joined yet): solicit the
+    // processes that have not sent an estimate for this round.
+    if (inst.solicited_rounds.insert(round).second) {
+      util::ByteWriter w(16);
+      w.u8(kSolicit);
+      w.u64(inst.k);
+      w.u32(round);
+      stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+    }
+  }
+  if (!have_majority) return;
+
+  // Chandra–Toueg locking rule: the highest adoption timestamp wins. Among
+  // unlocked (ts = 0) candidates, prefer one that actually carries
+  // messages — an all-empty set means there is nothing to order yet, so
+  // hold until a value arrives (a new estimate re-triggers this check).
+  auto better = [this](const std::pair<std::uint32_t, util::Bytes>& a,
+                       const std::pair<std::uint32_t, util::Bytes>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return !batch_is_empty(a.second) && batch_is_empty(b.second);
+  };
+  const std::pair<std::uint32_t, util::Bytes>* best = nullptr;
+  for (const auto& [sender, est] : ests) {
+    if (best == nullptr || better(est, *best)) best = &est;
+  }
+  if (best->first == 0 && batch_is_empty(best->second)) return;  // hold
+  util::Bytes value = best->second;
+  inst.round = std::max(inst.round, round);
+  inst.proposed_rounds.insert(round);
+  inst.proposals[round] = value;
+  inst.estimate = value;
+  inst.estimate_ts = round;
+  inst.ack_senders[round];
+
+  util::ByteWriter w(value.size() + 32);
+  w.u8(kProposal);
+  w.u64(inst.k);
+  w.u32(round);
+  w.raw(value);
+  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  arm_retransmit(inst, round);
+  maybe_decide_as_coordinator(inst, round);
+}
+
+void MonolithicAbcast::maybe_decide_as_coordinator(Instance& inst,
+                                                   std::uint32_t round) {
+  if (inst.decided || inst.proposed_rounds.count(round) == 0) return;
+  if (inst.ack_senders[round].size() + 1 < majority()) return;
+  coordinator_decided(inst, round);
+}
+
+void MonolithicAbcast::send_ack(Instance& inst, std::uint32_t round,
+                                util::ProcessId coord) {
+  std::vector<abcast::AppMessage> piggy;
+  if (config_.opt_piggyback) {
+    piggy.assign(outbox_.begin(), outbox_.end());
+    outbox_.clear();
+    if (flush_timer_ != runtime::kInvalidTimer) {
+      stack_->rt().cancel_timer(flush_timer_);
+      flush_timer_ = runtime::kInvalidTimer;
+    }
+    stats_.piggybacked_messages += piggy.size();
+  }
+  util::ByteWriter w(64);
+  w.u8(kAck);
+  w.u64(inst.k);
+  w.u32(round);
+  w.raw(abcast::encode_batch(piggy));
+  stack_->send_wire(coord, framework::kModMonolithic, w.take());
+}
+
+void MonolithicAbcast::handle_proposal(util::ProcessId from, std::uint64_t k,
+                                       std::uint32_t round, util::Bytes batch,
+                                       bool from_combined) {
+  (void)from_combined;
+  if (k < next_decide_) return;  // stale instance
+  Instance& inst = instance(k);
+  inst.proposals[round] = std::move(batch);
+
+  if (!inst.decided && inst.pending_tag_round &&
+      *inst.pending_tag_round == round) {
+    decide(k, round, inst.proposals[round]);
+    return;
+  }
+  if (inst.decided || decisions_.count(k) != 0) return;
+
+  if (round < inst.round) {
+    // Stale proposal: we advanced past this round (possibly on a wrong
+    // suspicion) — nack so the old coordinator advances too.
+    if (inst.acked_rounds.count(round) == 0 &&
+        inst.nacked_rounds.insert(round).second) {
+      util::ByteWriter w(16);
+      w.u8(kNack);
+      w.u64(k);
+      w.u32(round);
+      stack_->send_wire(from, framework::kModMonolithic, w.take());
+    }
+    return;
+  }
+  if (round > inst.round) inst.round = round;
+
+  if (inst.acked_rounds.count(round) != 0) {
+    // Duplicate (retransmitted) proposal: re-ack, the coordinator may have
+    // missed our first ack.
+    send_ack(inst, round, from);
+    return;
+  }
+  if (inst.nacked_rounds.count(round) != 0) return;
+
+  if (suspects(coordinator(round))) {
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(k);
+    w.u32(round);
+    stack_->send_wire(from, framework::kModMonolithic, w.take());
+    inst.nacked_rounds.insert(round);
+    advance_round(inst);
+    return;
+  }
+
+  inst.estimate = inst.proposals[round];
+  inst.estimate_ts = round;
+  inst.has_estimate = true;
+  inst.acked_rounds.insert(round);
+  send_ack(inst, round, from);
+}
+
+// --------------------------------------------------------------------------
+// Decisions
+// --------------------------------------------------------------------------
+
+void MonolithicAbcast::resolve_decision_tag(std::uint64_t k,
+                                            std::uint32_t round) {
+  if (k < next_decide_) return;  // already applied (possibly pruned)
+  if (decisions_.count(k) != 0) return;
+  Instance& inst = instance(k);
+  auto pit = inst.proposals.find(round);
+  if (pit != inst.proposals.end()) {
+    decide(k, round, pit->second);
+    return;
+  }
+  inst.pending_tag_round = round;
+  if (inst.pull_timer == runtime::kInvalidTimer) start_pull(inst);
+}
+
+void MonolithicAbcast::decide(std::uint64_t k, std::uint32_t round,
+                              util::Bytes batch) {
+  if (k < next_decide_) return;  // already applied (possibly pruned)
+  if (decisions_.count(k) != 0) return;
+  decisions_[k] = batch;
+  decision_rounds_[k] = round;
+  stats_.max_round = std::max(stats_.max_round, round);
+
+  auto it = instances_.find(k);
+  if (it != instances_.end()) {
+    Instance& inst = it->second;
+    inst.decided = true;
+    inst.decided_round = round;
+    if (inst.pull_timer != runtime::kInvalidTimer) {
+      stack_->rt().cancel_timer(inst.pull_timer);
+      inst.pull_timer = runtime::kInvalidTimer;
+    }
+    if (inst.retransmit_timer != runtime::kInvalidTimer) {
+      stack_->rt().cancel_timer(inst.retransmit_timer);
+      inst.retransmit_timer = runtime::kInvalidTimer;
+    }
+  }
+
+  ready_decisions_[k] = std::move(batch);
+  apply_ready_decisions();
+  prune(k);
+}
+
+void MonolithicAbcast::apply_ready_decisions() {
+  while (true) {
+    // Drop stale buffered decisions (late duplicates for applied instances).
+    while (!ready_decisions_.empty() &&
+           ready_decisions_.begin()->first < next_decide_) {
+      ready_decisions_.erase(ready_decisions_.begin());
+    }
+    auto it = ready_decisions_.find(next_decide_);
+    if (it == ready_decisions_.end()) break;
+    std::vector<abcast::AppMessage> batch = abcast::decode_batch(it->second);
+    ready_decisions_.erase(it);
+
+    std::sort(batch.begin(), batch.end(),
+              [](const abcast::AppMessage& a, const abcast::AppMessage& b) {
+                return a.id < b.id;
+              });
+    for (abcast::AppMessage& m : batch) {
+      if (!delivered_.mark(m.id.origin, m.id.seq)) continue;
+      pool_ids_.erase(m.id);
+      if (m.id.origin == stack_->self()) {
+        own_pending_.erase(m.id);
+        if (in_flight_ > 0) --in_flight_;
+        // Drop it from the outbox too: it is ordered, no need to forward.
+        for (auto ob = outbox_.begin(); ob != outbox_.end();) {
+          ob = (ob->id == m.id) ? outbox_.erase(ob) : std::next(ob);
+        }
+      }
+      ++stats_.delivered;
+      ++stats_.messages_in_decisions;
+      if (deliver_) deliver_(m.id.origin, m.id.seq, m.payload);
+    }
+    ++stats_.instances_completed;
+    ++next_decide_;
+    next_start_ = std::max(next_start_, next_decide_);
+    stack_->rt().charge_cpu(config_.instance_overhead);
+  }
+  admit_queued();
+  // Keep making progress when the initial coordinator is gone: without this
+  // the next instance would only start at the silence timer, serializing
+  // recovery at liveness_timeout per instance.
+  if (suspects(coordinator(1))) ensure_instance_progress();
+}
+
+void MonolithicAbcast::recheck_active_estimates() {
+  auto it = instances_.find(next_decide_);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (inst.decided || inst.round <= 1) return;
+  const util::ProcessId c = coordinator(inst.round);
+  if (c == stack_->self()) {
+    // Coordinator: our own (unlocked) estimate refreshes inside.
+    check_estimates(inst, inst.round);
+    return;
+  }
+  // Participant with an unlocked estimate already sent: if the pool grew
+  // since (piggybacked or forwarded messages), re-send the richer estimate
+  // so the held round can choose a value that actually carries messages.
+  if (inst.estimate_ts != 0) return;
+  if (inst.estimate_sent.count(inst.round) == 0) return;
+  util::Bytes fresh = build_estimate_value();
+  if (fresh == inst.estimate) return;  // nothing new
+  inst.estimate = std::move(fresh);
+  inst.has_estimate = true;
+  inst.estimate_sent.erase(inst.round);
+  send_estimate(inst, inst.round, c);
+}
+
+void MonolithicAbcast::start_pull(Instance& inst) {
+  util::ByteWriter w(16);
+  w.u8(kPull);
+  w.u64(inst.k);
+  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  stats_.pulls_sent += stack_->group_size() - 1;
+  const std::uint64_t k = inst.k;
+  inst.pull_timer = stack_->rt().set_timer(config_.pull_retry, [this, k] {
+    auto it = instances_.find(k);
+    if (it == instances_.end() || it->second.decided) return;
+    it->second.pull_timer = runtime::kInvalidTimer;
+    start_pull(it->second);
+  });
+}
+
+void MonolithicAbcast::broadcast_decision_fallback(std::uint64_t k,
+                                                   std::uint32_t round,
+                                                   const util::Bytes& batch,
+                                                   bool relay_seen) {
+  (void)relay_seen;
+  util::ByteWriter w(batch.size() + 16);
+  w.u8(kDecisionFull);
+  w.u64(k);
+  w.u32(round);
+  w.raw(batch);
+  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+}
+
+// --------------------------------------------------------------------------
+// Wire dispatch
+// --------------------------------------------------------------------------
+
+void MonolithicAbcast::on_wire(util::ProcessId from, util::Bytes msg) {
+  last_activity_ = stack_->rt().now();
+  util::ByteReader r(msg);
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case kCombined: {
+      const std::uint8_t flags = r.u8();
+      if (flags & kFlagHasDecision) {
+        const std::uint64_t dec_k = r.u64();
+        const std::uint32_t dec_round = r.u32();
+        // Resolve the decision first: it frees window slots, so the ack for
+        // the new proposal can piggyback freshly admitted messages.
+        resolve_decision_tag(dec_k, dec_round);
+      }
+      const std::uint64_t k = r.u64();
+      util::Bytes batch(r.rest().begin(), r.rest().end());
+      handle_proposal(from, k, 1, std::move(batch), /*from_combined=*/true);
+      break;
+    }
+    case kAck: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      util::Bytes piggy(r.rest().begin(), r.rest().end());
+      for (auto& m : abcast::decode_batch(piggy)) pool_add(std::move(m));
+      if (k >= next_decide_ && decisions_.count(k) == 0) {
+        Instance& inst = instance(k);
+        if (!inst.decided && coordinator(round) == stack_->self() &&
+            inst.proposed_rounds.count(round) != 0) {
+          inst.ack_senders[round].insert(from);
+          maybe_decide_as_coordinator(inst, round);
+        }
+      }
+      try_start_instance();
+      recheck_active_estimates();
+      break;
+    }
+    case kForward: {
+      util::Bytes batch(r.rest().begin(), r.rest().end());
+      for (auto& m : abcast::decode_batch(batch)) pool_add(std::move(m));
+      try_start_instance();
+      // If we coordinate a held recovery round, the fresh pool content may
+      // unblock it.
+      recheck_active_estimates();
+      break;
+    }
+    case kDecisionTag: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      resolve_decision_tag(k, round);
+      if (!config_.opt_cheap_decision &&
+          is_designated_resender(coordinator(round), stack_->self()) &&
+          relayed_decisions_.mark(kRelayTagChannel, k)) {
+        util::ByteWriter w(16);
+        w.u8(kDecisionTag);
+        w.u64(k);
+        w.u32(round);
+        stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+      }
+      break;
+    }
+    case kEstimate: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      const std::uint32_t ts = r.u32();
+      util::Bytes est = r.blob();
+      util::Bytes piggy(r.rest().begin(), r.rest().end());
+      for (auto& m : abcast::decode_batch(piggy)) pool_add(std::move(m));
+      if (decisions_.count(k) != 0 || k < next_decide_) break;
+      Instance& inst = instance(k);
+      inst.estimates[round][from] = {ts, std::move(est)};
+      check_estimates(inst, round);
+      break;
+    }
+    case kProposal: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      util::Bytes batch(r.rest().begin(), r.rest().end());
+      handle_proposal(from, k, round, std::move(batch),
+                      /*from_combined=*/false);
+      break;
+    }
+    case kDecisionFull: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      util::Bytes batch(r.rest().begin(), r.rest().end());
+      const bool first = relayed_decisions_.mark(kRelayFullChannel, k);
+      decide(k, round, batch);
+      if (first) {
+        // Relay on first receipt: the recovery coordinator may crash
+        // mid-broadcast; all-or-none must still hold.
+        broadcast_decision_fallback(k, round, batch, /*relay_seen=*/true);
+      }
+      break;
+    }
+    case kNack: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      if (decisions_.count(k) != 0) break;
+      Instance& inst = instance(k);
+      if (coordinator(round) == stack_->self() && !inst.decided &&
+          inst.round == round) {
+        advance_round(inst);
+      }
+      break;
+    }
+    case kPull: {
+      const std::uint64_t k = r.u64();
+      auto it = decisions_.find(k);
+      if (it != decisions_.end()) {
+        util::ByteWriter w(it->second.size() + 16);
+        w.u8(kFullReply);
+        w.u64(k);
+        w.u32(decision_rounds_[k]);
+        w.raw(it->second);
+        stack_->send_wire(from, framework::kModMonolithic, w.take());
+      }
+      break;
+    }
+    case kFullReply: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      util::Bytes batch(r.rest().begin(), r.rest().end());
+      decide(k, round, std::move(batch));
+      break;
+    }
+    case kSolicit: {
+      const std::uint64_t k = r.u64();
+      const std::uint32_t round = r.u32();
+      auto dit = decisions_.find(k);
+      if (dit != decisions_.end()) {
+        // The solicitor lags behind a decided instance: hand it the value.
+        util::ByteWriter w(dit->second.size() + 16);
+        w.u8(kFullReply);
+        w.u64(k);
+        w.u32(decision_rounds_[k]);
+        w.raw(dit->second);
+        stack_->send_wire(from, framework::kModMonolithic, w.take());
+        break;
+      }
+      if (k < next_decide_) break;
+      Instance& inst = instance(k);
+      if (inst.decided) break;
+      if (round > inst.round) inst.round = round;  // join the recovery round
+      // Send (or refresh, if unlocked) our estimate for the round. An empty
+      // pool yields an empty batch — that still counts toward majority.
+      if (inst.estimate_ts == 0) {
+        inst.estimate = build_estimate_value();
+        inst.has_estimate = true;
+        inst.estimate_sent.erase(round);
+      }
+      send_estimate(inst, round, from);
+      break;
+    }
+    default:
+      MODCAST_WARN("monolithic: unknown wire kind " + std::to_string(kind));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Suspicion / liveness
+// --------------------------------------------------------------------------
+
+void MonolithicAbcast::on_suspect(util::ProcessId q) {
+  if (q == stack_->self()) return;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(instances_.size());
+  for (const auto& [k, inst] : instances_) keys.push_back(k);
+  for (std::uint64_t k : keys) {
+    auto it = instances_.find(k);
+    if (it == instances_.end()) continue;
+    Instance& inst = it->second;
+    if (inst.decided || coordinator(inst.round) != q) continue;
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(k);
+    w.u32(inst.round);
+    stack_->send_wire(q, framework::kModMonolithic, w.take());
+    inst.nacked_rounds.insert(inst.round);
+    advance_round(inst);
+  }
+  ensure_instance_progress();
+}
+
+void MonolithicAbcast::ensure_instance_progress() {
+  if (i_am_initial_coordinator()) {
+    try_start_instance();
+    return;
+  }
+  if (decisions_.count(next_decide_) != 0) return;
+  // Join recovery for the next instance even with nothing of our own to
+  // order: the new coordinator needs a majority of estimates, and other
+  // processes may hold undelivered messages we know nothing about (§3.3's
+  // "starts a consensus even if no message arrives").
+  if (!suspects(coordinator(1))) return;
+  Instance& inst = instance(next_decide_);
+  if (inst.decided) return;
+  if (inst.round == 1 && inst.acked_rounds.empty() &&
+      inst.nacked_rounds.empty()) {
+    // Nack round 1 in case the suspected coordinator is actually alive and
+    // already proposed (or will): it must not wait for our ack.
+    inst.nacked_rounds.insert(1);
+    util::ByteWriter w(16);
+    w.u8(kNack);
+    w.u64(inst.k);
+    w.u32(1);
+    stack_->send_wire(coordinator(1), framework::kModMonolithic, w.take());
+    advance_round(inst);
+  }
+}
+
+void MonolithicAbcast::arm_liveness_timer() {
+  stack_->rt().set_timer(config_.liveness_timeout, [this] {
+    const util::TimePoint now = stack_->rt().now();
+    if (now - last_activity_ >= config_.liveness_timeout) {
+      // Silence: re-forward undelivered own messages and join whatever
+      // instance should be making progress (even with nothing of our own —
+      // another process may be stuck waiting for majority participation).
+      if (!own_pending_.empty()) {
+        if (config_.opt_piggyback && !i_am_initial_coordinator()) {
+          outbox_.clear();
+          for (const auto& [id, payload] : own_pending_) {
+            outbox_.push_back(abcast::AppMessage{id, payload});
+          }
+          flush_outbox_standalone();
+        } else if (!config_.opt_piggyback) {
+          for (const auto& [id, payload] : own_pending_) {
+            util::ByteWriter w(payload.size() + 32);
+            w.u8(kForward);
+            w.raw(abcast::encode_batch({abcast::AppMessage{id, payload}}));
+            stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+          }
+        }
+      }
+      ensure_instance_progress();
+    }
+    arm_liveness_timer();
+  });
+}
+
+std::string MonolithicAbcast::debug_state() const {
+  std::string out = "next_decide=" + std::to_string(next_decide_) +
+                    " next_start=" + std::to_string(next_start_) +
+                    " pool=" + std::to_string(pool_ids_.size()) +
+                    " own_pending=" + std::to_string(own_pending_.size()) +
+                    " outbox=" + std::to_string(outbox_.size()) + "\n";
+  for (const auto& [k, inst] : instances_) {
+    if (inst.decided) continue;
+    out += "  inst k=" + std::to_string(k) +
+           " round=" + std::to_string(inst.round) + " proposed={";
+    for (auto r : inst.proposed_rounds) out += std::to_string(r) + ",";
+    out += "} acked={";
+    for (auto r : inst.acked_rounds) out += std::to_string(r) + ",";
+    out += "} nacked={";
+    for (auto r : inst.nacked_rounds) out += std::to_string(r) + ",";
+    out += "} est_sent={";
+    for (auto r : inst.estimate_sent) out += std::to_string(r) + ",";
+    out += "}";
+    for (const auto& [r, ests] : inst.estimates) {
+      out += " ests[r" + std::to_string(r) + "]=" +
+             std::to_string(ests.size());
+    }
+    for (const auto& [r, acks] : inst.ack_senders) {
+      out += " acks[r" + std::to_string(r) + "]=" +
+             std::to_string(acks.size());
+    }
+    out += " tag=" +
+           (inst.pending_tag_round
+                ? std::to_string(*inst.pending_tag_round)
+                : std::string("-"));
+    out += "\n";
+  }
+  return out;
+}
+
+void MonolithicAbcast::prune(std::uint64_t except_k) {
+  while (decisions_.size() > config_.decision_retention) {
+    const std::uint64_t oldest = decisions_.begin()->first;
+    if (oldest == except_k) break;
+    decisions_.erase(decisions_.begin());
+    decision_rounds_.erase(oldest);
+    auto it = instances_.find(oldest);
+    if (it != instances_.end() && it->second.decided) instances_.erase(it);
+  }
+}
+
+}  // namespace modcast::monolithic

@@ -1,0 +1,231 @@
+// Monolithic atomic broadcast (§4): reliable broadcast + Chandra–Toueg
+// consensus + atomic broadcast merged into ONE module, enabling the three
+// cross-module optimizations the paper describes. External semantics are
+// identical to the modular stack; only good-run message patterns differ.
+//
+//  §4.1 opt_combine — the decision of consensus instance k and the proposal
+//       of instance k+1 ride in a single COMBINED message (the round-1
+//       coordinator of every instance is the same process, p0).
+//  §4.2 opt_piggyback — application messages are not diffused to everyone;
+//       a sender forwards them to the coordinator only, piggybacked on the
+//       ack it is about to send (or as a small standalone FORWARD when the
+//       system is idle). On coordinator change, messages are re-piggybacked
+//       on the estimate sent to the new coordinator.
+//  §4.3 opt_cheap_decision — decisions are simply sent to all (n−1
+//       messages): the messages of instance k+1 implicitly acknowledge the
+//       decision of k, so the (n−1)·⌊(n+1)/2⌋-message reliable broadcast is
+//       unnecessary in good runs.
+//
+// Each optimization has a correctness fallback for bad runs: missed
+// decisions are pulled from peers; on suspicion of the coordinator the full
+// estimate/propose/ack round machinery (rounds ≥ 2) takes over with full-
+// value decisions relayed on first receipt.
+//
+// All three toggles exist so the ablation bench can attribute the paper's
+// measured gap to the individual optimizations.
+//
+// Steady-state traffic per instance (all opts on): 1 COMBINED to n−1
+// processes + n−1 ACKs = 2(n−1) messages — the paper's §5.2.1 count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "abcast/types.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "framework/stack.hpp"
+#include "util/seq_tracker.hpp"
+
+namespace modcast::monolithic {
+
+struct MonolithicConfig {
+  /// Per-process flow-control window W (same as the modular stack).
+  std::size_t window = 2;
+  /// Maximum messages per proposal (the paper's M).
+  std::size_t max_batch = 4;
+  /// Aggregation delay before an idle process sends a standalone FORWARD to
+  /// the coordinator (lets a burst of abcasts share one message).
+  util::Duration forward_flush_delay = util::microseconds(200);
+  /// Coordinator retransmits an unacked proposal after this long (loss
+  /// robustness; never fires in good runs over quasi-reliable channels).
+  util::Duration ack_retransmit = util::milliseconds(400);
+  /// §3.3-equivalent silence timer.
+  util::Duration liveness_timeout = util::milliseconds(500);
+  /// Retry period for decision pulls.
+  util::Duration pull_retry = util::milliseconds(100);
+  /// Decided instances retained for answering pulls.
+  std::uint64_t decision_retention = 512;
+  /// Fixed CPU cost per completed consensus instance at every process (see
+  /// abcast::AbcastConfig::instance_overhead; identical in both stacks).
+  util::Duration instance_overhead = util::microseconds(2500);
+
+  // Ablation toggles (paper sections 4.1, 4.2, 4.3). All on = the paper's
+  // monolithic stack; all off ≈ the modular algorithm in one module.
+  bool opt_combine = true;
+  bool opt_piggyback = true;
+  bool opt_cheap_decision = true;
+};
+
+struct MonolithicStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t instances_completed = 0;
+  std::uint64_t messages_in_decisions = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t combined_sent = 0;       ///< proposals that carried a decision
+  std::uint64_t standalone_tags = 0;     ///< decisions that went out alone
+  std::uint64_t forwards_sent = 0;       ///< standalone forwards to the coord
+  std::uint64_t piggybacked_messages = 0;///< app messages that rode on acks
+  std::uint64_t retransmissions = 0;
+  std::uint32_t max_round = 0;
+  std::uint64_t pulls_sent = 0;
+};
+
+class MonolithicAbcast final : public framework::Module {
+ public:
+  using DeliverFn = std::function<void(util::ProcessId, std::uint64_t,
+                                       const util::Bytes&)>;
+  using AdmitFn = std::function<void(std::uint64_t)>;
+
+  explicit MonolithicAbcast(MonolithicConfig config = {},
+                            const fd::HeartbeatFd* fd = nullptr)
+      : config_(config), fd_(fd) {}
+
+  std::string_view name() const override { return "monolithic-abcast"; }
+  void init(framework::Stack& stack) override;
+  void start() override;
+
+  /// A-broadcasts payload (queues above the flow-control window). Returns
+  /// the assigned sequence number.
+  std::uint64_t abcast(util::Bytes payload);
+
+  void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_admit_handler(AdmitFn fn) { admit_ = std::move(fn); }
+
+  const MonolithicStats& stats() const { return stats_; }
+  std::size_t queued() const { return app_queue_.size(); }
+  std::size_t in_flight() const { return in_flight_; }
+  std::uint64_t next_decide() const { return next_decide_; }
+  std::size_t pool_size() const { return pool_ids_.size(); }
+
+  /// Human-readable snapshot of live instance state (diagnostics/tests).
+  std::string debug_state() const;
+
+ private:
+  struct Instance {
+    std::uint64_t k = 0;
+    std::uint32_t round = 1;
+    bool decided = false;
+    std::uint32_t decided_round = 0;
+    util::Bytes estimate;
+    std::uint32_t estimate_ts = 0;
+    bool has_estimate = false;
+    std::map<std::uint32_t, util::Bytes> proposals;
+    std::set<std::uint32_t> acked_rounds;
+    std::set<std::uint32_t> nacked_rounds;
+    std::set<std::uint32_t> proposed_rounds;
+    std::map<std::uint32_t, std::set<util::ProcessId>> ack_senders;
+    /// Per round: estimate (adoption ts, value) keyed by sender, so a
+    /// refreshed estimate replaces the stale one instead of double-counting.
+    std::map<std::uint32_t,
+             std::map<util::ProcessId, std::pair<std::uint32_t, util::Bytes>>>
+        estimates;
+    std::set<std::uint32_t> own_estimate_added;
+    std::set<std::uint32_t> estimate_sent;
+    std::set<std::uint32_t> solicited_rounds;
+    std::optional<std::uint32_t> pending_tag_round;
+    runtime::TimerId pull_timer = runtime::kInvalidTimer;
+    runtime::TimerId retransmit_timer = runtime::kInvalidTimer;
+  };
+
+  // --- identity helpers ---
+  util::ProcessId coordinator(std::uint32_t round) const;
+  std::size_t majority() const;
+  bool suspects(util::ProcessId q) const;
+  bool i_am_initial_coordinator() const;
+  Instance& instance(std::uint64_t k);
+
+  // --- application / flow control ---
+  void admit_queued();
+  void route_message(abcast::AppMessage m);
+  void flush_outbox_standalone();
+  void arm_flush_timer();
+  void pool_add(abcast::AppMessage m);
+  std::vector<abcast::AppMessage> take_batch();
+  util::Bytes build_estimate_value();
+
+  // --- coordinator good path ---
+  bool try_start_instance();
+  void coordinator_decided(Instance& inst, std::uint32_t round);
+  void arm_retransmit(Instance& inst, std::uint32_t round);
+
+  // --- round machinery (recovery) ---
+  void advance_round(Instance& inst);
+  void send_estimate(Instance& inst, std::uint32_t round,
+                     util::ProcessId coord);
+  void check_estimates(Instance& inst, std::uint32_t round);
+  void maybe_decide_as_coordinator(Instance& inst, std::uint32_t round);
+  void handle_proposal(util::ProcessId from, std::uint64_t k,
+                       std::uint32_t round, util::Bytes batch,
+                       bool from_combined);
+  void send_ack(Instance& inst, std::uint32_t round, util::ProcessId coord);
+
+  // --- decisions ---
+  void resolve_decision_tag(std::uint64_t k, std::uint32_t round);
+  void decide(std::uint64_t k, std::uint32_t round, util::Bytes batch);
+  void apply_ready_decisions();
+  void start_pull(Instance& inst);
+  void broadcast_decision_fallback(std::uint64_t k, std::uint32_t round,
+                                   const util::Bytes& batch, bool relay_seen);
+  bool is_designated_resender(util::ProcessId origin,
+                              util::ProcessId relay) const;
+  static bool batch_is_empty(const util::Bytes& value);
+  void recheck_active_estimates();
+
+  // --- wire ---
+  void on_wire(util::ProcessId from, util::Bytes msg);
+  void on_suspect(util::ProcessId q);
+  void ensure_instance_progress();
+  void arm_liveness_timer();
+  void prune(std::uint64_t except_k);
+
+  MonolithicConfig config_;
+  const fd::HeartbeatFd* fd_;
+  framework::Stack* stack_ = nullptr;
+  DeliverFn deliver_;
+  AdmitFn admit_;
+
+  // Application side.
+  std::uint64_t next_seq_ = 0;
+  std::size_t in_flight_ = 0;
+  std::deque<util::Bytes> app_queue_;
+  std::map<abcast::MsgId, util::Bytes> own_pending_;  ///< admitted, undelivered
+  std::deque<abcast::AppMessage> outbox_;  ///< not yet sent to coordinator
+  runtime::TimerId flush_timer_ = runtime::kInvalidTimer;
+
+  // Ordering pool (coordinator: messages to order; with opt_piggyback off,
+  // every process pools every diffused message, like the modular stack).
+  std::deque<abcast::AppMessage> pool_fifo_;
+  std::set<abcast::MsgId> pool_ids_;
+  util::SeqTracker seen_;
+  util::SeqTracker delivered_;
+
+  // Instance bookkeeping.
+  std::map<std::uint64_t, Instance> instances_;
+  std::map<std::uint64_t, util::Bytes> decisions_;
+  std::map<std::uint64_t, std::uint32_t> decision_rounds_;
+  std::uint64_t next_decide_ = 0;
+  std::uint64_t next_start_ = 0;  ///< coordinator: next instance to propose
+  std::map<std::uint64_t, util::Bytes> ready_decisions_;
+  util::SeqTracker relayed_decisions_;  ///< dedup for fallback relaying
+
+  util::TimePoint last_activity_ = 0;
+  MonolithicStats stats_;
+};
+
+}  // namespace modcast::monolithic

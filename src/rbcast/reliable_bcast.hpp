@@ -1,0 +1,89 @@
+// Reliable broadcast (§3.1).
+//
+// Guarantees: a message rbcast by any process is rdelivered by all correct
+// processes or by none, even if the sender crashes mid-broadcast. No order.
+//
+// Two variants:
+//  * Classic — on first receipt, every process re-sends to everyone:
+//    ~n² messages per broadcast.
+//  * Majority (the paper's optimization) — only a designated set of
+//    ⌊(n−1)/2⌋ processes re-sends, giving (n−1)·(⌊(n−1)/2⌋+1) messages.
+//    Correct under the majority-correct assumption (which consensus needs
+//    anyway): sender + resenders form a majority, so at least one correct
+//    process relays. As a belt-and-braces fallback for the case where the
+//    crashed process *was* a designated resender, any process that suspects
+//    the sender or a resender re-relays recent messages itself.
+//
+// Input:  framework event kEvRbcast (RbcastBody{payload}), or rbcast().
+// Output: framework event kEvRdeliver (RdeliverBody{origin, payload}).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "fd/heartbeat_fd.hpp"
+#include "framework/stack.hpp"
+#include "util/seq_tracker.hpp"
+
+namespace modcast::rbcast {
+
+enum class Variant {
+  kClassic,   ///< everyone re-sends: ~n² messages
+  kMajority,  ///< designated majority re-sends: (n−1)(⌊(n−1)/2⌋+1) messages
+};
+
+struct RbcastConfig {
+  Variant variant = Variant::kMajority;
+  /// How many recent messages are retained for suspicion-triggered re-relay.
+  std::size_t relay_buffer = 256;
+};
+
+class ReliableBcast final : public framework::Module {
+ public:
+  /// `fd` may be null (no suspicion fallback — unit tests of good runs).
+  explicit ReliableBcast(RbcastConfig config = {},
+                         const fd::HeartbeatFd* fd = nullptr)
+      : config_(config), fd_(fd) {}
+
+  std::string_view name() const override { return "reliable-bcast"; }
+  void init(framework::Stack& stack) override;
+
+  /// Broadcasts payload reliably; rdelivers locally right away.
+  void rbcast(util::Bytes payload);
+
+  /// True if `relay` is one of the designated resenders for messages
+  /// originated by `origin` (majority variant).
+  bool is_designated_resender(util::ProcessId origin,
+                              util::ProcessId relay) const;
+
+  std::uint64_t rdelivered_count() const { return rdelivered_count_; }
+
+ private:
+  struct Recent {
+    util::ProcessId origin;
+    std::uint64_t seq;
+    util::Bytes payload;
+    bool relayed_by_me;
+  };
+
+  void on_wire(util::ProcessId from, util::Bytes msg);
+  void on_suspect(util::ProcessId q);
+  void deliver_and_maybe_relay(util::ProcessId origin, std::uint64_t seq,
+                               util::Bytes payload, bool i_am_origin);
+  void relay(const util::Bytes& encoded);
+  util::Bytes encode(util::ProcessId origin, std::uint64_t seq,
+                     const util::Bytes& payload) const;
+  void remember(util::ProcessId origin, std::uint64_t seq,
+                util::Bytes payload, bool relayed);
+
+  RbcastConfig config_;
+  const fd::HeartbeatFd* fd_;
+  framework::Stack* stack_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  util::SeqTracker delivered_;
+  std::deque<Recent> recent_;
+  std::uint64_t rdelivered_count_ = 0;
+};
+
+}  // namespace modcast::rbcast

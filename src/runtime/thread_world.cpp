@@ -1,0 +1,186 @@
+#include "runtime/thread_world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace modcast::runtime {
+
+namespace {
+struct TimerEntry {
+  util::TimePoint deadline;
+  TimerId id;
+  std::function<void()> fn;
+};
+}  // namespace
+
+struct ThreadWorld::Proc {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<util::ProcessId, util::Bytes>> inbox;
+  std::vector<TimerEntry> timers;  // unsorted; scanned for earliest
+  TimerId next_timer = 1;
+  bool stopping = false;
+  bool crashed = false;
+  Protocol* protocol = nullptr;
+  std::unique_ptr<ProcRuntime> runtime;
+  std::thread thread;
+  util::Rng rng{0};
+};
+
+class ThreadWorld::ProcRuntime final : public Runtime {
+ public:
+  ProcRuntime(ThreadWorld& world, util::ProcessId self)
+      : world_(&world), self_(self) {}
+
+  util::ProcessId self() const override { return self_; }
+  std::size_t group_size() const override { return world_->size(); }
+  util::TimePoint now() const override { return world_->now(); }
+
+  void send(util::ProcessId to, util::Bytes msg) override {
+    auto& src = *world_->procs_.at(self_);
+    {
+      std::lock_guard lock(src.mu);
+      if (src.crashed) return;
+    }
+    auto& dst = *world_->procs_.at(to);
+    std::lock_guard lock(dst.mu);
+    if (dst.crashed || dst.stopping) return;
+    dst.inbox.emplace_back(self_, std::move(msg));
+    dst.cv.notify_one();
+  }
+
+  TimerId set_timer(util::Duration delay, std::function<void()> fn) override {
+    auto& proc = *world_->procs_.at(self_);
+    std::lock_guard lock(proc.mu);
+    const TimerId id = proc.next_timer++;
+    proc.timers.push_back(
+        TimerEntry{world_->now() + std::max<util::Duration>(delay, 0), id,
+                   std::move(fn)});
+    proc.cv.notify_one();
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override {
+    auto& proc = *world_->procs_.at(self_);
+    std::lock_guard lock(proc.mu);
+    auto& ts = proc.timers;
+    ts.erase(std::remove_if(ts.begin(), ts.end(),
+                            [id](const TimerEntry& t) { return t.id == id; }),
+             ts.end());
+  }
+
+  util::Rng& rng() override { return world_->procs_.at(self_)->rng; }
+
+ private:
+  ThreadWorld* world_;
+  util::ProcessId self_;
+};
+
+ThreadWorld::ThreadWorld(std::size_t n, std::uint64_t seed)
+    : epoch_(std::chrono::steady_clock::now()) {
+  util::Rng root(seed);
+  procs_.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    auto proc = std::make_unique<Proc>();
+    proc->rng = root.split();
+    proc->runtime = std::make_unique<ProcRuntime>(
+        *this, static_cast<util::ProcessId>(p));
+    procs_.push_back(std::move(proc));
+  }
+}
+
+ThreadWorld::~ThreadWorld() { stop(); }
+
+Runtime& ThreadWorld::runtime(util::ProcessId p) {
+  return *procs_.at(p)->runtime;
+}
+
+void ThreadWorld::attach(util::ProcessId p, Protocol* protocol) {
+  assert(!started_);
+  procs_.at(p)->protocol = protocol;
+}
+
+void ThreadWorld::start() {
+  assert(!started_);
+  started_ = true;
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    assert(procs_[p]->protocol != nullptr);
+    procs_[p]->thread = std::thread(
+        [this, p] { thread_main(static_cast<util::ProcessId>(p)); });
+  }
+}
+
+void ThreadWorld::crash(util::ProcessId p) {
+  auto& proc = *procs_.at(p);
+  {
+    std::lock_guard lock(proc.mu);
+    proc.crashed = true;
+    proc.inbox.clear();
+    proc.timers.clear();
+  }
+  proc.cv.notify_one();
+}
+
+void ThreadWorld::stop() {
+  for (auto& proc : procs_) {
+    {
+      std::lock_guard lock(proc->mu);
+      proc->stopping = true;
+    }
+    proc->cv.notify_one();
+  }
+  for (auto& proc : procs_) {
+    if (proc->thread.joinable()) proc->thread.join();
+  }
+}
+
+util::TimePoint ThreadWorld::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadWorld::thread_main(util::ProcessId p) {
+  auto& proc = *procs_[p];
+  proc.protocol->start();
+
+  std::unique_lock lock(proc.mu);
+  while (!proc.stopping && !proc.crashed) {
+    // Earliest timer deadline, if any.
+    auto due_it = std::min_element(
+        proc.timers.begin(), proc.timers.end(),
+        [](const TimerEntry& a, const TimerEntry& b) {
+          return a.deadline < b.deadline;
+        });
+
+    if (!proc.inbox.empty()) {
+      auto [from, msg] = std::move(proc.inbox.front());
+      proc.inbox.pop_front();
+      lock.unlock();
+      proc.protocol->on_message(from, std::move(msg));
+      lock.lock();
+      continue;
+    }
+
+    if (due_it != proc.timers.end() && due_it->deadline <= now()) {
+      auto fn = std::move(due_it->fn);
+      proc.timers.erase(due_it);
+      lock.unlock();
+      fn();
+      lock.lock();
+      continue;
+    }
+
+    if (due_it != proc.timers.end()) {
+      const auto wake =
+          epoch_ + std::chrono::nanoseconds(due_it->deadline);
+      proc.cv.wait_until(lock, wake);
+    } else {
+      proc.cv.wait(lock);
+    }
+  }
+}
+
+}  // namespace modcast::runtime

@@ -1,0 +1,59 @@
+// ThreadWorld: runs the same Protocol objects on real OS threads.
+//
+// Each process gets one thread and one mailbox; sends enqueue into the
+// destination mailbox; timers use the steady clock. There is no CPU cost
+// model — this runtime exists to demonstrate that the protocol stacks are a
+// real, runnable library (examples and smoke tests), not for the calibrated
+// performance experiments.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace modcast::runtime {
+
+class ThreadWorld {
+ public:
+  explicit ThreadWorld(std::size_t n, std::uint64_t seed = 1);
+  ~ThreadWorld();
+
+  ThreadWorld(const ThreadWorld&) = delete;
+  ThreadWorld& operator=(const ThreadWorld&) = delete;
+
+  std::size_t size() const { return procs_.size(); }
+  Runtime& runtime(util::ProcessId p);
+
+  /// Attaches the protocol of process p (non-owning). Call before start().
+  void attach(util::ProcessId p, Protocol* protocol);
+
+  /// Spawns all process threads; each calls Protocol::start() first.
+  void start();
+
+  /// Crash-stops process p: its thread exits, its mailbox discards input.
+  void crash(util::ProcessId p);
+
+  /// Stops all threads and joins them. Idempotent; also run by ~ThreadWorld.
+  void stop();
+
+  /// Nanoseconds since world construction (steady clock).
+  util::TimePoint now() const;
+
+ private:
+  struct Proc;
+  class ProcRuntime;
+
+  void thread_main(util::ProcessId p);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  bool started_ = false;
+};
+
+}  // namespace modcast::runtime

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace modcast::sim {
+
+EventId EventQueue::schedule(util::TimePoint when, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Lazily deleted: the entry stays in the heap but is skipped on pop.
+  if (id == 0 || id >= next_id_) return;
+  if (cancelled_.insert(id).second) {
+    if (live_ > 0) --live_;
+  }
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const { return live_; }
+
+util::TimePoint EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::function<void()> EventQueue::pop(util::TimePoint* when) {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is about to be discarded, so
+  // moving the closure out is safe.
+  auto& top = const_cast<Entry&>(heap_.top());
+  if (when != nullptr) *when = top.when;
+  auto fn = std::move(top.fn);
+  heap_.pop();
+  if (live_ > 0) --live_;
+  return fn;
+}
+
+}  // namespace modcast::sim

@@ -1,0 +1,62 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence): two events scheduled for
+// the same instant fire in the order they were scheduled. This makes every
+// simulation a pure function of its inputs and seed, which the property
+// tests rely on for replayability.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace modcast::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Returns a handle usable with
+  /// cancel().
+  EventId schedule(util::TimePoint when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a no-op (timers race with their own firing; that must be benign).
+  void cancel(EventId id);
+
+  bool empty() const;
+  std::size_t size() const;
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  util::TimePoint next_time() const;
+
+  /// Removes and returns the earliest event's action. Precondition: !empty().
+  std::function<void()> pop(util::TimePoint* when);
+
+ private:
+  struct Entry {
+    util::TimePoint when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace modcast::sim

@@ -1,0 +1,95 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace modcast::sim {
+
+Network::Network(Simulator& sim, std::size_t n, NetworkConfig config)
+    : sim_(&sim),
+      config_(config),
+      endpoints_(n),
+      crashed_(n, false),
+      nic_free_at_(n, 0),
+      per_sender_(n) {}
+
+void Network::set_endpoint(util::ProcessId p, DeliverFn fn) {
+  endpoints_.at(p) = std::move(fn);
+}
+
+util::Duration Network::tx_time(std::size_t payload_bytes) const {
+  const double bits =
+      static_cast<double>(payload_bytes + config_.frame_overhead_bytes) * 8.0;
+  return static_cast<util::Duration>(bits / config_.bandwidth_bps *
+                                     static_cast<double>(util::kSecond));
+}
+
+void Network::send(util::ProcessId from, util::ProcessId to,
+                   util::Bytes msg) {
+  assert(from < endpoints_.size() && to < endpoints_.size());
+  if (crashed_[from]) return;
+
+  if (from == to) {
+    // Loopback: no NIC serialization, not counted as network traffic.
+    sim_->after(util::microseconds(1),
+                [this, from, to, m = std::move(msg)]() mutable {
+                  if (!crashed_[to] && endpoints_[to]) {
+                    endpoints_[to](from, std::move(m));
+                  }
+                });
+    return;
+  }
+
+  const std::size_t size = msg.size();
+  total_.messages += 1;
+  total_.payload_bytes += size;
+  total_.wire_bytes += size + config_.frame_overhead_bytes;
+  per_sender_[from].messages += 1;
+  per_sender_[from].payload_bytes += size;
+  per_sender_[from].wire_bytes += size + config_.frame_overhead_bytes;
+
+  if (drop_ && drop_(from, to)) return;
+  auto blocked_it = blocked_.find({from, to});
+  if (blocked_it != blocked_.end() && blocked_it->second) return;
+
+  // Egress serialization: the sender's NIC transmits one frame at a time.
+  const util::TimePoint depart =
+      std::max(sim_->now(), nic_free_at_[from]) + config_.per_message_delay;
+  const util::TimePoint tx_done = depart + tx_time(size);
+  nic_free_at_[from] = tx_done;
+
+  util::TimePoint arrival = tx_done + config_.propagation;
+  if (extra_delay_) arrival += std::max<util::Duration>(
+      extra_delay_(from, to, size), 0);
+
+  // FIFO per ordered pair (TCP channel semantics).
+  auto& last = last_arrival_[{from, to}];
+  arrival = std::max(arrival, last + 1);
+  last = arrival;
+
+  sim_->at(arrival, [this, from, to, m = std::move(msg)]() mutable {
+    if (!crashed_[to] && endpoints_[to]) {
+      endpoints_[to](from, std::move(m));
+    }
+  });
+}
+
+void Network::crash(util::ProcessId p) { crashed_.at(p) = true; }
+
+std::size_t Network::crashed_count() const {
+  return static_cast<std::size_t>(
+      std::count(crashed_.begin(), crashed_.end(), true));
+}
+
+void Network::set_link_blocked(util::ProcessId from, util::ProcessId to,
+                               bool blocked) {
+  blocked_[{from, to}] = blocked;
+}
+
+void Network::reset_counters() {
+  total_ = NetCounters{};
+  for (auto& c : per_sender_) c = NetCounters{};
+}
+
+}  // namespace modcast::sim

@@ -1,0 +1,121 @@
+// Simulated network: quasi-reliable FIFO channels over a switched LAN.
+//
+// This substitutes for the paper's testbed (Gigabit Ethernet between
+// dedicated machines, TCP connections — §5.3.1). The model:
+//   * each process has a full-duplex NIC; outgoing messages serialize at the
+//     link bandwidth (a sender cannot push two messages at once),
+//   * each message pays a fixed framing overhead (Ethernet+IP+TCP headers)
+//     and a propagation/switching delay,
+//   * channels are quasi-reliable and FIFO per ordered pair (TCP): if sender
+//     and receiver stay up, the message arrives, in order.
+// Fault injection (crash, probabilistic drop, link blocking, extra delay) is
+// for testing the protocols' bad-run paths; good-run experiments leave it
+// off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace modcast::sim {
+
+struct NetworkConfig {
+  /// Link rate per NIC direction. Default: Gigabit Ethernet.
+  double bandwidth_bps = 1e9;
+  /// Propagation + switching delay applied to every message (LAN switch,
+  /// kernel wakeups, TCP stack traversal).
+  util::Duration propagation = util::microseconds(150);
+  /// Per-message framing bytes (Ethernet 18 + IP 20 + TCP 20 + preamble 8).
+  std::uint64_t frame_overhead_bytes = 66;
+  /// Fixed per-message cost in the sender's kernel/NIC path, applied in
+  /// addition to serialization (models syscall + TCP push).
+  util::Duration per_message_delay = util::microseconds(5);
+};
+
+/// Byte/message counters. `payload` counts protocol bytes as serialized;
+/// `wire` adds framing overhead.
+struct NetCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+
+  NetCounters& operator+=(const NetCounters& o) {
+    messages += o.messages;
+    payload_bytes += o.payload_bytes;
+    wire_bytes += o.wire_bytes;
+    return *this;
+  }
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(util::ProcessId from, util::Bytes msg)>;
+  using DelayInjector = std::function<util::Duration(
+      util::ProcessId from, util::ProcessId to, std::size_t size)>;
+  using DropFn = std::function<bool(util::ProcessId from, util::ProcessId to)>;
+
+  Network(Simulator& sim, std::size_t n, NetworkConfig config = {});
+
+  std::size_t size() const { return endpoints_.size(); }
+
+  /// Registers the receive handler for process p. Must be set before any
+  /// message destined to p arrives.
+  void set_endpoint(util::ProcessId p, DeliverFn fn);
+
+  /// Sends msg from -> to over the quasi-reliable channel. Self-sends are
+  /// delivered locally (small loopback delay) and are NOT counted as network
+  /// traffic, matching the paper's message counting.
+  void send(util::ProcessId from, util::ProcessId to, util::Bytes msg);
+
+  // --- Fault injection -----------------------------------------------------
+
+  /// Crash-stop process p now: it no longer sends, and messages arriving at
+  /// it are discarded. Crashing is permanent (§2.1).
+  void crash(util::ProcessId p);
+  bool crashed(util::ProcessId p) const { return crashed_[p]; }
+  std::size_t crashed_count() const;
+
+  /// Per-message drop test (simulates loss; violates quasi-reliability, used
+  /// only by stress tests). Return true to drop.
+  void set_drop(DropFn fn) { drop_ = std::move(fn); }
+
+  /// Blocks/unblocks the directed link from -> to (partition injection).
+  void set_link_blocked(util::ProcessId from, util::ProcessId to,
+                        bool blocked);
+
+  /// Adds an arbitrary extra delay per message (e.g. asymmetric slowness).
+  void set_extra_delay(DelayInjector fn) { extra_delay_ = std::move(fn); }
+
+  // --- Accounting ----------------------------------------------------------
+
+  const NetCounters& total() const { return total_; }
+  const NetCounters& sent_by(util::ProcessId p) const { return per_sender_[p]; }
+  void reset_counters();
+
+  /// Transmission time of a message of `payload` bytes on one link.
+  util::Duration tx_time(std::size_t payload_bytes) const;
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::vector<DeliverFn> endpoints_;
+  std::vector<bool> crashed_;
+  std::vector<util::TimePoint> nic_free_at_;        // per-sender egress
+  std::map<std::pair<util::ProcessId, util::ProcessId>, util::TimePoint>
+      last_arrival_;                                // FIFO per ordered pair
+  std::map<std::pair<util::ProcessId, util::ProcessId>, bool> blocked_;
+  DropFn drop_;
+  DelayInjector extra_delay_;
+  NetCounters total_;
+  std::vector<NetCounters> per_sender_;
+};
+
+}  // namespace modcast::sim

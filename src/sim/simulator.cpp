@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace modcast::sim {
+
+EventId Simulator::at(util::TimePoint when, std::function<void()> fn) {
+  return queue_.schedule(std::max(when, now_), std::move(fn));
+}
+
+EventId Simulator::after(util::Duration delay, std::function<void()> fn) {
+  return at(now_ + std::max<util::Duration>(delay, 0), std::move(fn));
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty() && !stopped_) {
+    util::TimePoint when = 0;
+    auto fn = queue_.pop(&when);
+    now_ = when;
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(util::TimePoint deadline) {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
+    util::TimePoint when = 0;
+    auto fn = queue_.pop(&when);
+    now_ = when;
+    fn();
+    ++executed;
+  }
+  now_ = std::max(now_, deadline);
+  return executed;
+}
+
+}  // namespace modcast::sim

@@ -1,0 +1,44 @@
+// The simulation scheduler: a virtual clock driving an event queue.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace modcast::sim {
+
+/// Owns the virtual clock and the event queue; runs events in deterministic
+/// order until a deadline, quiescence, or an explicit stop.
+class Simulator {
+ public:
+  util::TimePoint now() const { return now_; }
+
+  /// Schedules at an absolute virtual time (clamped to now).
+  EventId at(util::TimePoint when, std::function<void()> fn);
+
+  /// Schedules `delay` after now (negative delays are clamped to 0).
+  EventId after(util::Duration delay, std::function<void()> fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or `max_events` fire.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with time <= deadline; the clock ends at exactly `deadline`
+  /// even if the queue empties earlier. Returns events executed.
+  std::size_t run_until(util::TimePoint deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  util::TimePoint now_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace modcast::sim

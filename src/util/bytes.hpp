@@ -1,0 +1,110 @@
+// Binary serialization primitives.
+//
+// Every message that crosses a (simulated or real) network in this library is
+// actually serialized through ByteWriter/ByteReader, so wire sizes reported by
+// the simulator are honest byte counts, not estimates. Encoding is
+// little-endian fixed-width for integers plus length-prefixed blobs; varints
+// are available where the paper's header-size arguments matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace modcast::util {
+
+/// Owned byte string. Cheap to move; copied only when a message fans out.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by ByteReader when a decode runs past the end of the buffer or a
+/// length prefix is inconsistent. Decoding errors are protocol bugs or
+/// corruption, never expected control flow, so an exception is appropriate.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+
+  /// LEB128 unsigned varint (1 byte for values < 128).
+  void varint(std::uint64_t v);
+
+  /// Length-prefixed (u32) raw bytes.
+  void blob(std::span<const std::uint8_t> data);
+  void blob(const Bytes& data) {
+    blob(std::span<const std::uint8_t>(data.data(), data.size()));
+  }
+
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  /// Appends raw bytes with no length prefix (caller knows the framing).
+  void raw(std::span<const std::uint8_t> data);
+  void raw(const Bytes& data) {
+    raw(std::span<const std::uint8_t>(data.data(), data.size()));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+
+  /// Takes the accumulated buffer, leaving the writer empty.
+  Bytes take() { return std::move(buf_); }
+  const Bytes& bytes() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitive values from a byte span. Does not own the data.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data)
+      : data_(std::span<const std::uint8_t>(data.data(), data.size())) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::uint64_t varint();
+  Bytes blob();
+  std::string str();
+
+  /// Reads exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  /// Returns the remaining unread bytes without consuming them.
+  std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bytes varint(v) will occupy.
+std::size_t varint_size(std::uint64_t v);
+
+}  // namespace modcast::util

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name. Unknown
+// flags are an error so typos in experiment sweeps fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace modcast::util {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input. Flags not
+  /// in `known` (when non-empty) are rejected.
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known = {});
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated list of integers, e.g. --sizes=64,128,256.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace modcast::util

@@ -1,0 +1,16 @@
+// Process identity types shared by the simulator, runtimes, and protocols.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace modcast::util {
+
+/// Index of a process in the static group Π = {p0, ..., p(n-1)}.
+/// The paper's system model is static (§2.1): the group never changes.
+using ProcessId = std::uint32_t;
+
+constexpr ProcessId kInvalidProcess =
+    std::numeric_limits<ProcessId>::max();
+
+}  // namespace modcast::util

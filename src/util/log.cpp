@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace modcast::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+Log::Sink g_sink;  // guarded by g_sink_mutex
+
+void default_sink(LogLevel level, const std::string& line) {
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level).c_str(),
+               line.c_str());
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& line) {
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    default_sink(level, line);
+  }
+}
+
+std::string log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace modcast::util

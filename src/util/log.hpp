@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Protocol code logs through this so that examples can show traces and tests
+// can silence them. Logging is process-global and intentionally simple; the
+// hot paths of the simulator guard calls behind enabled() so formatting cost
+// is only paid when a sink will see the line.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace modcast::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logger configuration and dispatch.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Replaces the sink (default writes to stderr). Pass nullptr to restore
+  /// the default.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& line);
+
+ private:
+  Log() = default;
+};
+
+std::string log_level_name(LogLevel level);
+
+}  // namespace modcast::util
+
+// Convenience macros: evaluate the message expression only if enabled.
+#define MODCAST_LOG(level, expr)                                       \
+  do {                                                                 \
+    if (::modcast::util::Log::enabled(level)) {                        \
+      ::modcast::util::Log::write(level, (expr));                      \
+    }                                                                  \
+  } while (0)
+
+#define MODCAST_TRACE(expr) MODCAST_LOG(::modcast::util::LogLevel::kTrace, expr)
+#define MODCAST_DEBUG(expr) MODCAST_LOG(::modcast::util::LogLevel::kDebug, expr)
+#define MODCAST_INFO(expr) MODCAST_LOG(::modcast::util::LogLevel::kInfo, expr)
+#define MODCAST_WARN(expr) MODCAST_LOG(::modcast::util::LogLevel::kWarn, expr)
+#define MODCAST_ERROR(expr) MODCAST_LOG(::modcast::util::LogLevel::kError, expr)

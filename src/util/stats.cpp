@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace modcast::util {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95% critical values of the Student-t distribution.
+  static constexpr double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  return 1.960;
+}
+
+ConfidenceInterval confidence_95(const StreamingStats& s) {
+  ConfidenceInterval ci;
+  ci.mean = s.mean();
+  ci.count = s.count();
+  if (s.count() >= 2) {
+    const double sem = s.stddev() / std::sqrt(static_cast<double>(s.count()));
+    ci.half_width = t_critical_95(s.count() - 1) * sem;
+  }
+  return ci;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double x : samples_) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+ConfidenceInterval SampleSet::confidence_95() const {
+  ConfidenceInterval ci;
+  ci.mean = mean();
+  ci.count = samples_.size();
+  if (samples_.size() >= 2) {
+    const double sem =
+        stddev() / std::sqrt(static_cast<double>(samples_.size()));
+    ci.half_width = t_critical_95(samples_.size() - 1) * sem;
+  }
+  return ci;
+}
+
+std::string format_ci(const ConfidenceInterval& ci, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f ±%.*f", precision, ci.mean, precision,
+                ci.half_width);
+  return buf;
+}
+
+}  // namespace modcast::util

@@ -1,0 +1,85 @@
+// Statistics used by the experiment harness.
+//
+// The paper reports means with 95% confidence intervals over many messages
+// and several executions (§5.1). StreamingStats accumulates count/mean/
+// variance in one pass (Welford); SampleSet keeps raw samples for percentile
+// queries; confidence intervals use the Student-t distribution for the small
+// per-seed sample counts the harness produces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace modcast::util {
+
+/// One-pass count/mean/variance accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< mean ± half_width
+  std::size_t count = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+/// Two-sided Student-t critical value for 95% confidence with the given
+/// degrees of freedom (exact table for df <= 30, normal approximation above).
+double t_critical_95(std::size_t degrees_of_freedom);
+
+/// 95% confidence interval for the mean of the accumulated samples.
+ConfidenceInterval confidence_95(const StreamingStats& s);
+
+/// Retains raw samples; supports percentiles and conversion to a CI.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Empty set returns 0.
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+  ConfidenceInterval confidence_95() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Formats "mean ± half [count]" for report tables.
+std::string format_ci(const ConfidenceInterval& ci, int precision = 2);
+
+}  // namespace modcast::util

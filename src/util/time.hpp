@@ -1,0 +1,44 @@
+// Time types used across the library.
+//
+// All protocol and simulator code uses a single integral nanosecond
+// representation so that simulated and wall-clock runtimes are
+// interchangeable and arithmetic is exact and deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace modcast::util {
+
+/// A span of time in nanoseconds. Signed so differences are well-defined.
+using Duration = std::int64_t;
+
+/// An instant, in nanoseconds since an arbitrary epoch (simulation start or
+/// runtime start).
+using TimePoint = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts fractional seconds to a Duration, rounding to nearest ns.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+}  // namespace modcast::util

@@ -1,0 +1,72 @@
+// Unit tests: §5.2 closed forms (analysis/analytical_model).
+#include "analysis/analytical_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace modcast::analysis {
+namespace {
+
+TEST(Analysis, PaperWorkedExampleN3M4) {
+  // §5.2.1: "the monolithic implementation needs 4 messages to order these
+  // 4 abcast messages ... In the case of the modular stack, 16 messages".
+  EXPECT_EQ(modular_messages_per_consensus(3, 4), 16u);
+  EXPECT_EQ(monolithic_messages_per_consensus(3), 4u);
+}
+
+TEST(Analysis, MessagesN7) {
+  // (n−1)(M+2+⌊(n+1)/2⌋) = 6·(4+2+4) = 60; 2(n−1) = 12.
+  EXPECT_EQ(modular_messages_per_consensus(7, 4), 60u);
+  EXPECT_EQ(monolithic_messages_per_consensus(7), 12u);
+}
+
+TEST(Analysis, MessagesScaleWithBatch) {
+  EXPECT_EQ(modular_messages_per_consensus(3, 1), 10u);
+  EXPECT_EQ(modular_messages_per_consensus(3, 8), 24u);
+  // Monolithic count is independent of M.
+  EXPECT_EQ(monolithic_messages_per_consensus(3),
+            monolithic_messages_per_consensus(3));
+}
+
+TEST(Analysis, DataVolumes) {
+  // Datamod = 2(n−1)M·l ; Datamono = (n−1)(1+1/n)M·l.
+  EXPECT_DOUBLE_EQ(modular_data_per_consensus(3, 4, 16384.0),
+                   2.0 * 2 * 4 * 16384.0);
+  EXPECT_DOUBLE_EQ(monolithic_data_per_consensus(3, 4, 16384.0),
+                   2.0 * (1.0 + 1.0 / 3.0) * 4 * 16384.0);
+}
+
+TEST(Analysis, OverheadFormula) {
+  // overhead = (n−1)/(n+1): 50% at n=3, 75% at n=7 (§5.2.2).
+  EXPECT_DOUBLE_EQ(modularity_data_overhead(3), 0.5);
+  EXPECT_DOUBLE_EQ(modularity_data_overhead(7), 0.75);
+}
+
+TEST(Analysis, OverheadIsConsistentWithDataFormulas) {
+  for (std::uint64_t n : {2u, 3u, 5u, 7u, 9u, 15u}) {
+    const double mod = modular_data_per_consensus(n, 4, 1000.0);
+    const double mono = monolithic_data_per_consensus(n, 4, 1000.0);
+    EXPECT_NEAR((mod - mono) / mono, modularity_data_overhead(n), 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(Analysis, RbcastCounts) {
+  // Classic: n(n−1) ≈ n². Majority: (n−1)(⌊(n−1)/2⌋+1).
+  EXPECT_EQ(rbcast_messages_classic(3), 6u);
+  EXPECT_EQ(rbcast_messages_classic(7), 42u);
+  EXPECT_EQ(rbcast_messages_majority(3), 4u);   // 2·2
+  EXPECT_EQ(rbcast_messages_majority(7), 24u);  // 6·4
+  // §4.3's claim: (n−1)·⌊(n+1)/2⌋ — same quantity, other grouping.
+  for (std::uint64_t n = 2; n <= 15; ++n) {
+    EXPECT_EQ(rbcast_messages_majority(n), (n - 1) * ((n + 1) / 2)) << n;
+  }
+}
+
+TEST(Analysis, MajorityNeverExceedsClassic) {
+  for (std::uint64_t n = 2; n <= 20; ++n) {
+    EXPECT_LE(rbcast_messages_majority(n), rbcast_messages_classic(n));
+  }
+}
+
+}  // namespace
+}  // namespace modcast::analysis

@@ -1,0 +1,137 @@
+// Unit tests: binary serialization (util/bytes).
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace modcast::util {
+namespace {
+
+TEST(Bytes, RoundTripFixedWidth) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x04030201);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(Bytes, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  Bytes payload = {1, 2, 3, 4, 5};
+  w.blob(payload);
+  w.str("hello, world");
+  w.blob(Bytes{});  // empty blob
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_EQ(r.str(), "hello, world");
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, RawHasNoLengthPrefix) {
+  ByteWriter w;
+  w.raw(Bytes{9, 8, 7});
+  EXPECT_EQ(w.size(), 3u);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(3), (Bytes{9, 8, 7}));
+}
+
+TEST(Bytes, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    ByteWriter w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), varint_size(v)) << v;
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Bytes, VarintSizes) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_THROW(r.u16(), DecodeError);
+}
+
+TEST(Bytes, TruncatedBlobThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.blob(), DecodeError);
+}
+
+TEST(Bytes, MalformedVarintThrows) {
+  // 11 continuation bytes: longer than any valid 64-bit varint.
+  Bytes bad(11, 0x80);
+  ByteReader r(bad);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Bytes, RestAndPosition) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_EQ(r.position(), 1u);
+  EXPECT_EQ(r.remaining(), 2u);
+  auto rest = r.rest();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0], 2);
+  EXPECT_EQ(rest[1], 3);
+}
+
+TEST(Bytes, TakeResetsWriter) {
+  ByteWriter w;
+  w.u32(5);
+  Bytes b = w.take();
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_TRUE(w.empty());
+}
+
+}  // namespace
+}  // namespace modcast::util

@@ -1,0 +1,95 @@
+// Unit tests: deterministic event queue (sim/event_queue).
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace modcast::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    util::TimePoint when;
+    q.pop(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop(nullptr)();
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeAndReportedTime) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  util::TimePoint when = 0;
+  q.pop(&when);
+  EXPECT_EQ(when, 42);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(10, [&] { ran = true; });
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIsNoOp) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.cancel(9999);  // never scheduled
+  q.cancel(0);     // invalid id
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelTwiceCountsOnce) {
+  EventQueue q;
+  EventId id = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelHeadAdvancesNextTime) {
+  EventQueue q;
+  EventId first = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Schedule with descending times; expect ascending execution.
+  std::vector<util::TimePoint> fired;
+  for (int i = 999; i >= 0; --i) {
+    q.schedule(i, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop(nullptr)();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(fired[i], i);
+}
+
+}  // namespace
+}  // namespace modcast::sim

@@ -1,0 +1,76 @@
+// Unit tests: command-line flag parsing (util/flags).
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace modcast::util {
+namespace {
+
+Flags parse(std::vector<const char*> argv,
+            const std::vector<std::string>& known = {}) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(Flags, EqualsForm) {
+  auto f = parse({"--n=7", "--rate=2.5", "--name=abc"});
+  EXPECT_EQ(f.get_int("n", 0), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 2.5);
+  EXPECT_EQ(f.get("name", ""), "abc");
+}
+
+TEST(Flags, SpaceForm) {
+  auto f = parse({"--n", "3", "--label", "x"});
+  EXPECT_EQ(f.get_int("n", 0), 3);
+  EXPECT_EQ(f.get("label", ""), "x");
+}
+
+TEST(Flags, BareBooleans) {
+  auto f = parse({"--verbose", "--quick"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.get_bool("quick", false));
+  EXPECT_FALSE(f.get_bool("missing", false));
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, BooleanSpellings) {
+  auto f = parse({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, BadBooleanThrows) {
+  auto f = parse({"--x=banana"});
+  EXPECT_THROW(f.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Flags, IntList) {
+  auto f = parse({"--sizes=64,128,256"});
+  EXPECT_EQ(f.get_int_list("sizes", {}),
+            (std::vector<std::int64_t>{64, 128, 256}));
+  EXPECT_EQ(f.get_int_list("missing", {1, 2}),
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Flags, Positional) {
+  auto f = parse({"one", "--n=3", "two"});
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Flags, UnknownFlagRejectedWhenKnownListGiven) {
+  EXPECT_THROW(parse({"--oops=1"}, {"n", "rate"}), std::invalid_argument);
+  EXPECT_NO_THROW(parse({"--n=1"}, {"n", "rate"}));
+}
+
+TEST(Flags, HasReflectsPresence) {
+  auto f = parse({"--n=1"});
+  EXPECT_TRUE(f.has("n"));
+  EXPECT_FALSE(f.has("m"));
+}
+
+}  // namespace
+}  // namespace modcast::util

@@ -1,0 +1,188 @@
+// Unit tests: simulated network (sim/network).
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace modcast::sim {
+namespace {
+
+using util::Bytes;
+using util::microseconds;
+using util::ProcessId;
+
+struct Delivery {
+  ProcessId to;
+  ProcessId from;
+  std::size_t size;
+  util::TimePoint at;
+};
+
+struct Fixture {
+  Simulator sim;
+  Network net;
+  std::vector<Delivery> deliveries;
+
+  explicit Fixture(std::size_t n, NetworkConfig cfg = {})
+      : net(sim, n, cfg) {
+    for (ProcessId p = 0; p < n; ++p) {
+      net.set_endpoint(p, [this, p](ProcessId from, Bytes msg) {
+        deliveries.push_back(Delivery{p, from, msg.size(), sim.now()});
+      });
+    }
+  }
+};
+
+TEST(Network, DeliversWithLatencyAndSerialization) {
+  NetworkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation = microseconds(90);
+  cfg.frame_overhead_bytes = 66;
+  cfg.per_message_delay = microseconds(5);
+  Fixture f(2, cfg);
+
+  f.sim.at(0, [&] { f.net.send(0, 1, Bytes(1000, 0)); });
+  f.sim.run();
+
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  // tx time = (1000+66)*8 / 1e9 s = 8528 ns.
+  const util::Duration expected =
+      microseconds(5) + 8528 + microseconds(90);
+  EXPECT_EQ(f.deliveries[0].at, expected);
+  EXPECT_EQ(f.deliveries[0].from, 0u);
+  EXPECT_EQ(f.deliveries[0].size, 1000u);
+}
+
+TEST(Network, NicSerializesBackToBackSends) {
+  NetworkConfig cfg;
+  cfg.per_message_delay = 0;
+  Fixture f(2, cfg);
+  f.sim.at(0, [&] {
+    f.net.send(0, 1, Bytes(10000, 0));
+    f.net.send(0, 1, Bytes(10000, 0));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  const util::Duration tx = f.net.tx_time(10000);
+  EXPECT_EQ(f.deliveries[1].at - f.deliveries[0].at, tx);
+}
+
+TEST(Network, FifoPerOrderedPair) {
+  Fixture f(2);
+  constexpr int kCount = 50;
+  f.sim.at(0, [&] {
+    for (int i = 0; i < kCount; ++i) {
+      f.net.send(0, 1, Bytes(static_cast<std::size_t>(i + 1), 0));
+    }
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(f.deliveries[i].size, static_cast<std::size_t>(i + 1));
+    if (i > 0) {
+      EXPECT_GT(f.deliveries[i].at, f.deliveries[i - 1].at);
+    }
+  }
+}
+
+TEST(Network, SelfSendLoopsBackUncounted) {
+  Fixture f(2);
+  f.sim.at(0, [&] { f.net.send(0, 0, Bytes(100, 0)); });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].to, 0u);
+  EXPECT_EQ(f.net.total().messages, 0u);  // loopback is not network traffic
+}
+
+TEST(Network, CountersTrackPayloadAndWire) {
+  NetworkConfig cfg;
+  Fixture f(3, cfg);
+  f.sim.at(0, [&] {
+    f.net.send(0, 1, Bytes(100, 0));
+    f.net.send(0, 2, Bytes(200, 0));
+    f.net.send(1, 2, Bytes(50, 0));
+  });
+  f.sim.run();
+  EXPECT_EQ(f.net.total().messages, 3u);
+  EXPECT_EQ(f.net.total().payload_bytes, 350u);
+  EXPECT_EQ(f.net.total().wire_bytes, 350u + 3 * cfg.frame_overhead_bytes);
+  EXPECT_EQ(f.net.sent_by(0).messages, 2u);
+  EXPECT_EQ(f.net.sent_by(1).messages, 1u);
+  f.net.reset_counters();
+  EXPECT_EQ(f.net.total().messages, 0u);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  Fixture f(2);
+  f.net.crash(0);
+  f.sim.at(0, [&] { f.net.send(0, 1, Bytes(10, 0)); });
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.net.total().messages, 0u);
+}
+
+TEST(Network, CrashedReceiverDropsArrivals) {
+  Fixture f(2);
+  f.sim.at(0, [&] { f.net.send(0, 1, Bytes(10, 0)); });
+  f.sim.at(1, [&] { f.net.crash(1); });  // crash before arrival
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.net.crashed_count(), 1u);
+  EXPECT_TRUE(f.net.crashed(1));
+}
+
+TEST(Network, DropInjection) {
+  Fixture f(2);
+  int drop_next = 1;
+  f.net.set_drop([&](ProcessId, ProcessId) { return drop_next-- > 0; });
+  f.sim.at(0, [&] {
+    f.net.send(0, 1, Bytes(10, 0));  // dropped
+    f.net.send(0, 1, Bytes(20, 0));  // passes
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].size, 20u);
+}
+
+TEST(Network, LinkBlockingIsDirectional) {
+  Fixture f(2);
+  f.net.set_link_blocked(0, 1, true);
+  f.sim.at(0, [&] {
+    f.net.send(0, 1, Bytes(10, 0));  // blocked
+    f.net.send(1, 0, Bytes(20, 0));  // reverse direction: passes
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].to, 0u);
+  f.net.set_link_blocked(0, 1, false);
+  f.sim.at(f.sim.now() + 1, [&] { f.net.send(0, 1, Bytes(30, 0)); });
+  f.sim.run();
+  EXPECT_EQ(f.deliveries.size(), 2u);
+}
+
+TEST(Network, ExtraDelayInjection) {
+  Fixture f(2);
+  f.net.set_extra_delay([](ProcessId, ProcessId, std::size_t) {
+    return util::milliseconds(10);
+  });
+  f.sim.at(0, [&] { f.net.send(0, 1, Bytes(10, 0)); });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_GE(f.deliveries[0].at, util::milliseconds(10));
+}
+
+TEST(Network, TxTimeMatchesBandwidth) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.frame_overhead_bytes = 0;
+  Network net(sim, 2, cfg);
+  // 125 bytes = 1000 bits = 1 microsecond at 1 Gbit/s.
+  EXPECT_EQ(net.tx_time(125), microseconds(1));
+}
+
+}  // namespace
+}  // namespace modcast::sim

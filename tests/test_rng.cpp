@@ -1,0 +1,105 @@
+// Unit tests: deterministic RNG (util/rng).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace modcast::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) {
+    double v = rng.exponential(3.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 50000.0, 3.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng c1 = parent1.split();
+  Rng c2 = parent2.split();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  }
+  // Child differs from a fresh parent's stream.
+  Rng parent3(99);
+  Rng c3 = parent3.split();
+  EXPECT_NE(c3.next_u64(), parent3.next_u64());
+}
+
+}  // namespace
+}  // namespace modcast::util

@@ -1,0 +1,208 @@
+// Unit tests: simulated runtime (runtime/sim_world).
+#include "runtime/sim_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace modcast::runtime {
+namespace {
+
+using util::Bytes;
+using util::microseconds;
+using util::milliseconds;
+using util::ProcessId;
+
+/// Records everything; optionally echoes messages back.
+class Recorder : public Protocol {
+ public:
+  explicit Recorder(Runtime& rt) : rt_(&rt) {}
+
+  void start() override { started_at_ = rt_->now(); }
+  void on_message(ProcessId from, Bytes msg) override {
+    received_.emplace_back(from, std::move(msg));
+    if (echo_ && from != rt_->self()) {
+      rt_->send(from, Bytes{0xEC});
+    }
+  }
+
+  Runtime* rt_;
+  util::TimePoint started_at_ = -1;
+  std::vector<std::pair<ProcessId, Bytes>> received_;
+  bool echo_ = false;
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t n, CpuCostModel cpu = {}) {
+    SimWorldConfig cfg;
+    cfg.n = n;
+    cfg.cpu = cpu;
+    world = std::make_unique<SimWorld>(cfg);
+    for (ProcessId p = 0; p < n; ++p) {
+      protos.push_back(std::make_unique<Recorder>(world->runtime(p)));
+      world->attach(p, protos.back().get());
+    }
+  }
+  std::unique_ptr<SimWorld> world;
+  std::vector<std::unique_ptr<Recorder>> protos;
+};
+
+TEST(SimWorld, StartRunsAllProtocolsAtTimeZero) {
+  Fixture f(3);
+  f.world->start();
+  f.world->run();
+  for (auto& proto : f.protos) EXPECT_EQ(proto->started_at_, 0);
+}
+
+TEST(SimWorld, SendDeliversWithCpuAndNetworkCosts) {
+  CpuCostModel cpu;
+  cpu.recv_base = microseconds(100);
+  cpu.recv_ns_per_byte = 0;
+  cpu.send_base = microseconds(50);
+  cpu.send_ns_per_byte = 0;
+  Fixture f(2, cpu);
+  f.world->start();
+  f.world->simulator().at(0, [&] {
+    f.world->runtime(0).send(1, Bytes(100, 7));
+  });
+  f.world->run();
+  ASSERT_EQ(f.protos[1]->received_.size(), 1u);
+  // Sender CPU charged for the send.
+  EXPECT_EQ(f.world->cpu(0).busy_time(), microseconds(50));
+  // Receiver CPU charged for the receive.
+  EXPECT_EQ(f.world->cpu(1).busy_time(), microseconds(100));
+}
+
+TEST(SimWorld, RoundTripEcho) {
+  Fixture f(2);
+  f.protos[0]->echo_ = true;
+  f.protos[1]->echo_ = false;
+  f.world->start();
+  f.world->simulator().at(0, [&] {
+    f.world->runtime(1).send(0, Bytes{1, 2, 3});
+  });
+  f.world->run();
+  ASSERT_EQ(f.protos[0]->received_.size(), 1u);
+  ASSERT_EQ(f.protos[1]->received_.size(), 1u);
+  EXPECT_EQ(f.protos[1]->received_[0].second, Bytes{0xEC});
+}
+
+TEST(SimWorld, TimersFireInOrderAndCancel) {
+  Fixture f(1);
+  f.world->start();
+  std::vector<int> fired;
+  auto& rt = f.world->runtime(0);
+  f.world->simulator().at(0, [&] {
+    rt.set_timer(milliseconds(3), [&] { fired.push_back(3); });
+    rt.set_timer(milliseconds(1), [&] { fired.push_back(1); });
+    TimerId cancelled = rt.set_timer(milliseconds(2), [&] {
+      fired.push_back(2);
+    });
+    rt.cancel_timer(cancelled);
+  });
+  f.world->run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(SimWorld, CancelAfterFiringIsNoOp) {
+  Fixture f(1);
+  f.world->start();
+  auto& rt = f.world->runtime(0);
+  TimerId id = 0;
+  int fired = 0;
+  f.world->simulator().at(0, [&] {
+    id = rt.set_timer(milliseconds(1), [&] { ++fired; });
+  });
+  f.world->run();
+  EXPECT_EQ(fired, 1);
+  rt.cancel_timer(id);  // must not crash or underflow
+}
+
+TEST(SimWorld, CrashStopsSendReceiveAndTimers) {
+  Fixture f(2);
+  f.world->start();
+  auto& rt0 = f.world->runtime(0);
+  int timer_fired = 0;
+  f.world->simulator().at(0, [&] {
+    rt0.set_timer(milliseconds(10), [&] { ++timer_fired; });
+  });
+  f.world->simulator().at(milliseconds(1), [&] { f.world->crash(0); });
+  f.world->simulator().at(milliseconds(2), [&] {
+    f.world->runtime(1).send(0, Bytes{1});  // to crashed: dropped
+    rt0.send(1, Bytes{2});                  // from crashed: suppressed
+  });
+  f.world->run();
+  EXPECT_EQ(timer_fired, 0);
+  EXPECT_TRUE(f.protos[0]->received_.empty());
+  EXPECT_TRUE(f.protos[1]->received_.empty());
+  EXPECT_TRUE(f.world->crashed(0));
+}
+
+TEST(SimWorld, SelfSendLoopsBack) {
+  Fixture f(1);
+  f.world->start();
+  f.world->simulator().at(0, [&] {
+    f.world->runtime(0).send(0, Bytes{9});
+  });
+  f.world->run();
+  ASSERT_EQ(f.protos[0]->received_.size(), 1u);
+  EXPECT_EQ(f.protos[0]->received_[0].first, 0u);
+}
+
+TEST(SimWorld, PerProcessRngStreamsDiffer) {
+  Fixture f(2);
+  auto a = f.world->runtime(0).rng().next_u64();
+  auto b = f.world->runtime(1).rng().next_u64();
+  EXPECT_NE(a, b);
+}
+
+TEST(SimWorld, SameSeedSameRngStreams) {
+  SimWorldConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 77;
+  SimWorld w1(cfg), w2(cfg);
+  EXPECT_EQ(w1.runtime(0).rng().next_u64(), w2.runtime(0).rng().next_u64());
+  EXPECT_EQ(w1.runtime(1).rng().next_u64(), w2.runtime(1).rng().next_u64());
+}
+
+TEST(SimWorld, ChargeCpuDelaysSubsequentHandlers) {
+  CpuCostModel cpu;
+  cpu.recv_base = microseconds(10);
+  cpu.recv_ns_per_byte = 0;
+  cpu.send_base = 0;
+  cpu.send_ns_per_byte = 0;
+
+  /// Charges 1ms of CPU inside the first message handler.
+  class Charger : public Protocol {
+   public:
+    explicit Charger(Runtime& rt) : rt_(&rt) {}
+    void on_message(ProcessId, Bytes) override {
+      handled_at_.push_back(rt_->now());
+      if (handled_at_.size() == 1) rt_->charge_cpu(milliseconds(1));
+    }
+    Runtime* rt_;
+    std::vector<util::TimePoint> handled_at_;
+  };
+
+  SimWorldConfig cfg;
+  cfg.n = 2;
+  cfg.cpu = cpu;
+  SimWorld world(cfg);
+  Charger charger(world.runtime(1));
+  Recorder sender(world.runtime(0));
+  world.attach(0, &sender);
+  world.attach(1, &charger);
+  world.start();
+  world.simulator().at(0, [&] {
+    world.runtime(0).send(1, Bytes{1});
+    world.runtime(0).send(1, Bytes{2});
+  });
+  world.run();
+  ASSERT_EQ(charger.handled_at_.size(), 2u);
+  // Second handler waited for the first's charged millisecond.
+  EXPECT_GE(charger.handled_at_[1] - charger.handled_at_[0],
+            milliseconds(1));
+}
+
+}  // namespace
+}  // namespace modcast::runtime

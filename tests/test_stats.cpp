@@ -1,0 +1,114 @@
+// Unit tests: statistics (util/stats).
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modcast::util {
+namespace {
+
+TEST(StreamingStats, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, MeanAndVariance) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TCritical, KnownValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+}
+
+TEST(ConfidenceInterval, SingleSampleHasZeroWidth) {
+  StreamingStats s;
+  s.add(5.0);
+  auto ci = confidence_95(s);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceInterval, KnownCase) {
+  // Samples 1..5: mean 3, sd sqrt(2.5), sem sqrt(0.5), t(4)=2.776.
+  StreamingStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  auto ci = confidence_95(s);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(0.5), 1e-3);
+  EXPECT_NEAR(ci.lo(), 3.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi(), 3.0 + ci.half_width, 1e-12);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100, unsorted insert
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, EmptyIsSafe) {
+  SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.confidence_95().count, 0u);
+}
+
+TEST(SampleSet, AddAfterPercentileQuery) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 2.0);
+  s.add(10.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(FormatCi, Format) {
+  ConfidenceInterval ci{12.3456, 0.789, 5};
+  EXPECT_EQ(format_ci(ci, 2), "12.35 ±0.79");
+}
+
+}  // namespace
+}  // namespace modcast::util
