@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_indirect_consensus.dir/bench_ext_indirect_consensus.cpp.o"
+  "CMakeFiles/bench_ext_indirect_consensus.dir/bench_ext_indirect_consensus.cpp.o.d"
+  "bench_ext_indirect_consensus"
+  "bench_ext_indirect_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_indirect_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

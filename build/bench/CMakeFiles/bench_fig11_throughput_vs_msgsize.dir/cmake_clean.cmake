@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_throughput_vs_msgsize.dir/bench_fig11_throughput_vs_msgsize.cpp.o"
+  "CMakeFiles/bench_fig11_throughput_vs_msgsize.dir/bench_fig11_throughput_vs_msgsize.cpp.o.d"
+  "bench_fig11_throughput_vs_msgsize"
+  "bench_fig11_throughput_vs_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_throughput_vs_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_framework.dir/bench_micro_framework.cpp.o"
+  "CMakeFiles/bench_micro_framework.dir/bench_micro_framework.cpp.o.d"
+  "bench_micro_framework"
+  "bench_micro_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_datavolume.dir/bench_table_datavolume.cpp.o"
+  "CMakeFiles/bench_table_datavolume.dir/bench_table_datavolume.cpp.o.d"
+  "bench_table_datavolume"
+  "bench_table_datavolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_datavolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_msgcount.dir/bench_table_msgcount.cpp.o"
+  "CMakeFiles/bench_table_msgcount.dir/bench_table_msgcount.cpp.o.d"
+  "bench_table_msgcount"
+  "bench_table_msgcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_msgcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/thread_chat.cpp" "examples/CMakeFiles/thread_chat.dir/thread_chat.cpp.o" "gcc" "examples/CMakeFiles/thread_chat.dir/thread_chat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/modcast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/modcast_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/modcast_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/monolithic/CMakeFiles/modcast_monolithic.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/modcast_abcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/modcast_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbcast/CMakeFiles/modcast_rbcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/modcast_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/modcast_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/modcast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/modcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

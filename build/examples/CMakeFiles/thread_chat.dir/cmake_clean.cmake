@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_chat.dir/thread_chat.cpp.o"
+  "CMakeFiles/thread_chat.dir/thread_chat.cpp.o.d"
+  "thread_chat"
+  "thread_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

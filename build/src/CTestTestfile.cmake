@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("runtime")
+subdirs("channel")
+subdirs("framework")
+subdirs("fd")
+subdirs("rbcast")
+subdirs("consensus")
+subdirs("abcast")
+subdirs("monolithic")
+subdirs("core")
+subdirs("analysis")
+subdirs("workload")

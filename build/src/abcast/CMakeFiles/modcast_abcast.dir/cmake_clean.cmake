@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_abcast.dir/modular_abcast.cpp.o"
+  "CMakeFiles/modcast_abcast.dir/modular_abcast.cpp.o.d"
+  "CMakeFiles/modcast_abcast.dir/types.cpp.o"
+  "CMakeFiles/modcast_abcast.dir/types.cpp.o.d"
+  "libmodcast_abcast.a"
+  "libmodcast_abcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_abcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

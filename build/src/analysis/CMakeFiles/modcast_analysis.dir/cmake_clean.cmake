@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_analysis.dir/analytical_model.cpp.o"
+  "CMakeFiles/modcast_analysis.dir/analytical_model.cpp.o.d"
+  "libmodcast_analysis.a"
+  "libmodcast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_channel.dir/reliable_channel.cpp.o"
+  "CMakeFiles/modcast_channel.dir/reliable_channel.cpp.o.d"
+  "libmodcast_channel.a"
+  "libmodcast_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

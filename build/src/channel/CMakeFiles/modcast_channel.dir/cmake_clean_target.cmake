@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmodcast_channel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_consensus.dir/chandra_toueg.cpp.o"
+  "CMakeFiles/modcast_consensus.dir/chandra_toueg.cpp.o.d"
+  "libmodcast_consensus.a"
+  "libmodcast_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

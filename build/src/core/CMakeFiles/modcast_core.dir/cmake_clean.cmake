@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_core.dir/abcast_process.cpp.o"
+  "CMakeFiles/modcast_core.dir/abcast_process.cpp.o.d"
+  "CMakeFiles/modcast_core.dir/fifo_order.cpp.o"
+  "CMakeFiles/modcast_core.dir/fifo_order.cpp.o.d"
+  "CMakeFiles/modcast_core.dir/sim_group.cpp.o"
+  "CMakeFiles/modcast_core.dir/sim_group.cpp.o.d"
+  "libmodcast_core.a"
+  "libmodcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

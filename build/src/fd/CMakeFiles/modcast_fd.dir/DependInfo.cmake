@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/heartbeat_fd.cpp" "src/fd/CMakeFiles/modcast_fd.dir/heartbeat_fd.cpp.o" "gcc" "src/fd/CMakeFiles/modcast_fd.dir/heartbeat_fd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/framework/CMakeFiles/modcast_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/modcast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/modcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_fd.dir/heartbeat_fd.cpp.o"
+  "CMakeFiles/modcast_fd.dir/heartbeat_fd.cpp.o.d"
+  "libmodcast_fd.a"
+  "libmodcast_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_framework.dir/stack.cpp.o"
+  "CMakeFiles/modcast_framework.dir/stack.cpp.o.d"
+  "CMakeFiles/modcast_framework.dir/trace.cpp.o"
+  "CMakeFiles/modcast_framework.dir/trace.cpp.o.d"
+  "libmodcast_framework.a"
+  "libmodcast_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

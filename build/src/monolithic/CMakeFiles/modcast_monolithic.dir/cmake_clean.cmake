@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_monolithic.dir/monolithic_abcast.cpp.o"
+  "CMakeFiles/modcast_monolithic.dir/monolithic_abcast.cpp.o.d"
+  "libmodcast_monolithic.a"
+  "libmodcast_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

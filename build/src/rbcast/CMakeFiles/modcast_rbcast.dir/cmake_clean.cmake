@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_rbcast.dir/reliable_bcast.cpp.o"
+  "CMakeFiles/modcast_rbcast.dir/reliable_bcast.cpp.o.d"
+  "libmodcast_rbcast.a"
+  "libmodcast_rbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_rbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_runtime.dir/sim_world.cpp.o"
+  "CMakeFiles/modcast_runtime.dir/sim_world.cpp.o.d"
+  "CMakeFiles/modcast_runtime.dir/thread_world.cpp.o"
+  "CMakeFiles/modcast_runtime.dir/thread_world.cpp.o.d"
+  "libmodcast_runtime.a"
+  "libmodcast_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_sim.dir/cpu.cpp.o"
+  "CMakeFiles/modcast_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/modcast_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/modcast_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/modcast_sim.dir/network.cpp.o"
+  "CMakeFiles/modcast_sim.dir/network.cpp.o.d"
+  "CMakeFiles/modcast_sim.dir/simulator.cpp.o"
+  "CMakeFiles/modcast_sim.dir/simulator.cpp.o.d"
+  "libmodcast_sim.a"
+  "libmodcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

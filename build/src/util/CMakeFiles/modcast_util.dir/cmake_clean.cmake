@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_util.dir/bytes.cpp.o"
+  "CMakeFiles/modcast_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/modcast_util.dir/flags.cpp.o"
+  "CMakeFiles/modcast_util.dir/flags.cpp.o.d"
+  "CMakeFiles/modcast_util.dir/log.cpp.o"
+  "CMakeFiles/modcast_util.dir/log.cpp.o.d"
+  "CMakeFiles/modcast_util.dir/rng.cpp.o"
+  "CMakeFiles/modcast_util.dir/rng.cpp.o.d"
+  "CMakeFiles/modcast_util.dir/stats.cpp.o"
+  "CMakeFiles/modcast_util.dir/stats.cpp.o.d"
+  "libmodcast_util.a"
+  "libmodcast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

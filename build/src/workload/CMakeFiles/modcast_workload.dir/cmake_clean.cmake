@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modcast_workload.dir/experiment.cpp.o"
+  "CMakeFiles/modcast_workload.dir/experiment.cpp.o.d"
+  "libmodcast_workload.a"
+  "libmodcast_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modcast_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

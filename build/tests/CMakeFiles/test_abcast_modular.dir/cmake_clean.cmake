@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abcast_modular.dir/test_abcast_modular.cpp.o"
+  "CMakeFiles/test_abcast_modular.dir/test_abcast_modular.cpp.o.d"
+  "test_abcast_modular"
+  "test_abcast_modular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abcast_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abcast_monolithic.dir/test_abcast_monolithic.cpp.o"
+  "CMakeFiles/test_abcast_monolithic.dir/test_abcast_monolithic.cpp.o.d"
+  "test_abcast_monolithic"
+  "test_abcast_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abcast_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

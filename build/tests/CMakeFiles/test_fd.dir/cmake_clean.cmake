@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd.dir/test_fd.cpp.o"
+  "CMakeFiles/test_fd.dir/test_fd.cpp.o.d"
+  "test_fd"
+  "test_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_adapter.dir/test_fifo_adapter.cpp.o"
+  "CMakeFiles/test_fifo_adapter.dir/test_fifo_adapter.cpp.o.d"
+  "test_fifo_adapter"
+  "test_fifo_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indirect.dir/test_indirect.cpp.o"
+  "CMakeFiles/test_indirect.dir/test_indirect.cpp.o.d"
+  "test_indirect"
+  "test_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbcast.dir/test_rbcast.cpp.o"
+  "CMakeFiles/test_rbcast.dir/test_rbcast.cpp.o.d"
+  "test_rbcast"
+  "test_rbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

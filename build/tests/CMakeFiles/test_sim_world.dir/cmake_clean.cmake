@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_world.dir/test_sim_world.cpp.o"
+  "CMakeFiles/test_sim_world.dir/test_sim_world.cpp.o.d"
+  "test_sim_world"
+  "test_sim_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

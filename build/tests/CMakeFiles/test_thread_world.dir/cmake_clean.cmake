@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_world.dir/test_thread_world.cpp.o"
+  "CMakeFiles/test_thread_world.dir/test_thread_world.cpp.o.d"
+  "test_thread_world"
+  "test_thread_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
