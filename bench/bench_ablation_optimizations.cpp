@@ -7,7 +7,7 @@
 // gap: it is an extension of the paper's evaluation, not a reproduction of
 // a specific figure.
 //
-// Flags: --n=3 --load=4000 --size=16384 --seeds=N --quick
+// Flags: --n=3 --load=4000 --size=16384 --seeds=N --jobs=N --quick
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -27,7 +27,7 @@ struct Variant {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n", "load", "size", "seeds", "warmup_s", "measure_s",
-                     "quick"});
+                     "quick", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
   const double load = flags.get_double("load", 4000);
@@ -47,6 +47,28 @@ int main(int argc, char** argv) {
       {"mono (all off)", false, false, false},
   };
 
+  std::vector<std::string> names;
+  std::vector<workload::SweepPoint> points;
+  for (const Variant& v : variants) {
+    workload::SweepPoint pt;
+    pt.n = n;
+    pt.stack.kind = core::StackKind::kMonolithic;
+    pt.stack.opt_combine = v.combine;
+    pt.stack.opt_piggyback = v.piggyback;
+    pt.stack.opt_cheap_decision = v.cheap_decision;
+    pt.workload = wl;
+    pt.seeds = bc.seeds;
+    points.push_back(pt);
+    names.emplace_back(v.name);
+  }
+  workload::SweepPoint modular;
+  modular.n = n;
+  modular.stack.kind = core::StackKind::kModular;
+  modular.workload = wl;
+  modular.seeds = bc.seeds;
+  points.push_back(modular);
+  names.emplace_back("modular (reference)");
+
   std::printf("== Ablation: monolithic optimizations (§4.1-§4.3) ==\n");
   std::printf("n = %zu, offered load = %.0f msgs/s, size = %zu B\n\n", n,
               load, size);
@@ -55,28 +77,32 @@ int main(int argc, char** argv) {
   std::printf("---------------------------+--------------+----------------+"
               "------------+-----------\n");
 
-  auto print_row = [&](const char* name,
-                       const workload::AggregateResult& r) {
-    std::printf("%-26s | %12s | %14s | %10.1f | %10.1f\n", name,
+  const auto results = workload::run_sweep(points, bc.jobs);
+
+  std::string json_rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-26s | %12s | %14s | %10.1f | %10.1f\n", names[i].c_str(),
                 util::format_ci(r.latency_ms, 2).c_str(),
                 util::format_ci(r.throughput, 0).c_str(),
                 r.msgs_per_consensus, r.bytes_per_consensus / 1024.0);
     std::fflush(stdout);
-  };
-
-  for (const Variant& v : variants) {
-    core::StackOptions stack;
-    stack.kind = core::StackKind::kMonolithic;
-    stack.opt_combine = v.combine;
-    stack.opt_piggyback = v.piggyback;
-    stack.opt_cheap_decision = v.cheap_decision;
-    print_row(v.name, workload::run_experiment(n, stack, wl, bc.seeds));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"variant\": \"%s\", \"latency_ms\": %.6f, "
+                  "\"throughput\": %.6f, \"msgs_per_consensus\": %.3f, "
+                  "\"bytes_per_consensus\": %.1f}",
+                  json_escape(names[i]).c_str(), r.latency_ms.mean,
+                  r.throughput.mean, r.msgs_per_consensus,
+                  r.bytes_per_consensus);
+    if (i > 0) json_rows += ", ";
+    json_rows += buf;
   }
-
-  core::StackOptions modular;
-  modular.kind = core::StackKind::kModular;
-  print_row("modular (reference)",
-            workload::run_experiment(n, modular, wl, bc.seeds));
+  if (flags.get("json", "") != "none") {
+    write_json_result("ablation_optimizations",
+                      "\"points\": [" + json_rows + "]",
+                      flags.get("json", ""));
+  }
 
   std::printf(
       "\nreading: each toggle removes one §4 optimization; 'all off' is the\n"

@@ -7,7 +7,7 @@
 // comparison: it recovers about half of the modular stack's data overhead
 // while keeping the module structure.
 //
-// Flags: --n=3 --size=16384 --loads=... --seeds=N --quick
+// Flags: --n=3 --size=16384 --loads=... --seeds=N --jobs=N --quick
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -16,7 +16,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n", "size", "loads", "seeds", "warmup_s", "measure_s",
-                     "quick"});
+                     "quick", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
   const auto size = static_cast<std::size_t>(flags.get_int("size", 16384));
@@ -39,6 +39,23 @@ int main(int argc, char** argv) {
   const Row rows[] = {{"modular", &modular},
                       {"modular+indirect", &indirect},
                       {"monolithic", &mono}};
+  const std::size_t n_rows = sizeof(rows) / sizeof(rows[0]);
+
+  std::vector<workload::SweepPoint> points;
+  for (std::int64_t load : loads) {
+    for (const Row& row : rows) {
+      workload::SweepPoint pt;
+      pt.n = n;
+      pt.stack = *row.opts;
+      pt.workload.offered_load = static_cast<double>(load);
+      pt.workload.message_size = size;
+      pt.workload.warmup = util::from_seconds(bc.warmup_s);
+      pt.workload.measure = util::from_seconds(bc.measure_s);
+      pt.seeds = bc.seeds;
+      points.push_back(pt);
+    }
+  }
+  const auto results = workload::run_sweep(points, bc.jobs);
 
   std::printf("== Extension: indirect consensus vs the paper's stacks ==\n");
   std::printf("n = %zu, size = %zu B; %zu seed(s)\n\n", n, size, bc.seeds);
@@ -47,23 +64,34 @@ int main(int argc, char** argv) {
   std::printf("---------+--------------------+--------------+"
               "----------------+-----------\n");
 
-  for (std::int64_t load : loads) {
-    for (const Row& row : rows) {
-      workload::WorkloadConfig wl;
-      wl.offered_load = static_cast<double>(load);
-      wl.message_size = size;
-      wl.warmup = util::from_seconds(bc.warmup_s);
-      wl.measure = util::from_seconds(bc.measure_s);
-      auto r = workload::run_experiment(n, *row.opts, wl, bc.seeds);
+  std::string json_rows;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    for (std::size_t j = 0; j < n_rows; ++j) {
+      const auto& r = results[i * n_rows + j];
       std::printf("%-8lld | %-18s | %12s | %14s | %10.1f\n",
-                  static_cast<long long>(load), row.name,
+                  static_cast<long long>(loads[i]), rows[j].name,
                   util::format_ci(r.latency_ms, 2).c_str(),
                   util::format_ci(r.throughput, 0).c_str(),
                   r.bytes_per_consensus / 1024.0);
       std::fflush(stdout);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"load\": %lld, \"stack\": \"%s\", "
+                    "\"latency_ms\": %.6f, \"throughput\": %.6f, "
+                    "\"bytes_per_consensus\": %.1f}",
+                    static_cast<long long>(loads[i]), rows[j].name,
+                    r.latency_ms.mean, r.throughput.mean,
+                    r.bytes_per_consensus);
+      if (!json_rows.empty()) json_rows += ", ";
+      json_rows += buf;
     }
     std::printf("---------+--------------------+--------------+"
                 "----------------+-----------\n");
+  }
+  if (flags.get("json", "") != "none") {
+    write_json_result("ext_indirect_consensus",
+                      "\"points\": [" + json_rows + "]",
+                      flags.get("json", ""));
   }
 
   std::printf(

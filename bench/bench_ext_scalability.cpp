@@ -6,7 +6,7 @@
 // group sizes and reports measured latency/throughput gaps next to the
 // analytic data-overhead trend.
 //
-// Flags: --n_list=3,5,7,9 --load=4000 --size=8192 --seeds=N --quick
+// Flags: --n_list=3,5,7,9 --load=4000 --size=8192 --seeds=N --jobs=N --quick
 #include "analysis/analytical_model.hpp"
 #include "bench_util.hpp"
 
@@ -16,13 +16,29 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n_list", "load", "size", "seeds", "warmup_s",
-                     "measure_s", "quick"});
+                     "measure_s", "quick", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list(
       "n_list", bc.quick ? std::vector<std::int64_t>{3, 7}
                          : std::vector<std::int64_t>{3, 5, 7, 9});
   const double load = flags.get_double("load", 4000);
   const auto size = static_cast<std::size_t>(flags.get_int("size", 8192));
+
+  std::vector<workload::SweepPoint> points;
+  for (std::int64_t n : n_list) {
+    workload::SweepPoint pt;
+    pt.n = static_cast<std::size_t>(n);
+    pt.workload.offered_load = load;
+    pt.workload.message_size = size;
+    pt.workload.warmup = util::from_seconds(bc.warmup_s);
+    pt.workload.measure = util::from_seconds(bc.measure_s);
+    pt.seeds = bc.seeds;
+    pt.stack.kind = core::StackKind::kModular;
+    points.push_back(pt);
+    pt.stack.kind = core::StackKind::kMonolithic;
+    points.push_back(pt);
+  }
+  const auto results = workload::run_sweep(points, bc.jobs);
 
   std::printf("== Extension: modularity cost vs group size ==\n");
   std::printf("offered load = %.0f msgs/s, size = %zu B; %zu seed(s)\n\n",
@@ -32,22 +48,11 @@ int main(int argc, char** argv) {
   std::printf("----+--------------+--------------+-----------+-----------+"
               "-----------\n");
 
-  for (std::int64_t n : n_list) {
-    workload::WorkloadConfig wl;
-    wl.offered_load = load;
-    wl.message_size = size;
-    wl.warmup = util::from_seconds(bc.warmup_s);
-    wl.measure = util::from_seconds(bc.measure_s);
-
-    core::StackOptions modular;
-    modular.kind = core::StackKind::kModular;
-    core::StackOptions mono;
-    mono.kind = core::StackKind::kMonolithic;
-
-    auto rm = workload::run_experiment(static_cast<std::size_t>(n), modular,
-                                       wl, bc.seeds);
-    auto rn = workload::run_experiment(static_cast<std::size_t>(n), mono, wl,
-                                       bc.seeds);
+  std::string json_rows;
+  for (std::size_t i = 0; i < n_list.size(); ++i) {
+    const std::int64_t n = n_list[i];
+    const auto& rm = results[2 * i];
+    const auto& rn = results[2 * i + 1];
 
     const double lat_gap =
         (rm.latency_ms.mean - rn.latency_ms.mean) / rm.latency_ms.mean;
@@ -60,6 +65,20 @@ int main(int argc, char** argv) {
                     static_cast<std::uint64_t>(n)) *
                     100.0);
     std::fflush(stdout);
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"n\": %lld, \"modular_latency_ms\": %.6f, "
+                  "\"monolithic_latency_ms\": %.6f, \"latency_gap\": %.4f, "
+                  "\"throughput_gap\": %.4f}",
+                  static_cast<long long>(n), rm.latency_ms.mean,
+                  rn.latency_ms.mean, lat_gap, thr_gap);
+    if (i > 0) json_rows += ", ";
+    json_rows += buf;
+  }
+  if (flags.get("json", "") != "none") {
+    write_json_result("ext_scalability", "\"points\": [" + json_rows + "]",
+                      flags.get("json", ""));
   }
 
   std::printf(

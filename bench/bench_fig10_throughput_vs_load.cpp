@@ -6,7 +6,7 @@
 //    higher than the modular one;
 //  * the gap is negligible at low offered loads.
 //
-// Flags: --loads=... --size=16384 --seeds=N --quick
+// Flags: --loads=... --size=16384 --seeds=N --jobs=N --quick
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -15,9 +15,10 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"loads", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv"});
+                     "quick", "csv", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "load");
+  JsonWriter json(flags, "fig10_throughput_vs_load", "load", "throughput");
   const auto size = static_cast<std::size_t>(flags.get_int("size", 16384));
   const auto loads = flags.get_int_list(
       "loads", bc.quick
@@ -28,13 +29,22 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 10: throughput (msgs/s) vs offered load ==\n");
   std::printf("message size = %zu bytes; %zu seed(s), 95%% CI\n\n", size,
               bc.seeds);
+
+  const auto curves = paper_curves();
+  const auto grid = run_grid(loads, curves, bc,
+                             [&](std::int64_t load, const Curve& c) {
+                               return sweep_point(
+                                   c, static_cast<double>(load), size, bc);
+                             });
+
   print_header("load");
-  for (std::int64_t load : loads) {
-    std::printf("%-10lld", static_cast<long long>(load));
-    for (const auto& c : paper_curves()) {
-      auto r = run_point(c, static_cast<double>(load), size, bc);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::printf("%-10lld", static_cast<long long>(loads[i]));
+    for (std::size_t j = 0; j < curves.size(); ++j) {
+      const auto& r = grid[i][j];
       std::printf(" | %-22s", util::format_ci(r.throughput, 0).c_str());
-      csv.row(load, c, r.throughput);
+      csv.row(loads[i], curves[j], r.throughput);
+      json.row(loads[i], curve_label(curves[j]), r.throughput);
     }
     std::printf("\n");
     std::fflush(stdout);

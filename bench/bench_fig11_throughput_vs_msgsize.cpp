@@ -8,7 +8,7 @@
 //  * as size grows n=7 degrades faster (the consensus proposal carrying all
 //    payloads goes to more processes), crossing below n=3.
 //
-// Flags: --sizes=... --load=2000 --seeds=N --quick
+// Flags: --sizes=... --load=2000 --seeds=N --jobs=N --quick
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -17,9 +17,10 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"sizes", "load", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv"});
+                     "quick", "csv", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "size");
+  JsonWriter json(flags, "fig11_throughput_vs_msgsize", "size", "throughput");
   const double load = flags.get_double("load", 2000);
   const auto sizes = flags.get_int_list(
       "sizes", bc.quick
@@ -30,13 +31,23 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 11: throughput (msgs/s) vs message size ==\n");
   std::printf("offered load = %.0f msgs/s; %zu seed(s), 95%% CI\n\n", load,
               bc.seeds);
+
+  const auto curves = paper_curves();
+  const auto grid = run_grid(sizes, curves, bc,
+                             [&](std::int64_t size, const Curve& c) {
+                               return sweep_point(
+                                   c, load, static_cast<std::size_t>(size),
+                                   bc);
+                             });
+
   print_header("size");
-  for (std::int64_t size : sizes) {
-    std::printf("%-10lld", static_cast<long long>(size));
-    for (const auto& c : paper_curves()) {
-      auto r = run_point(c, load, static_cast<std::size_t>(size), bc);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%-10lld", static_cast<long long>(sizes[i]));
+    for (std::size_t j = 0; j < curves.size(); ++j) {
+      const auto& r = grid[i][j];
       std::printf(" | %-22s", util::format_ci(r.throughput, 0).c_str());
-      csv.row(size, c, r.throughput);
+      csv.row(sizes[i], curves[j], r.throughput);
+      json.row(sizes[i], curve_label(curves[j]), r.throughput);
     }
     std::printf("\n");
     std::fflush(stdout);

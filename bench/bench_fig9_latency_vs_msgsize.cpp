@@ -6,7 +6,7 @@
 //  * latency grows once per-byte costs start to dominate;
 //  * with the largest messages the gap narrows to 25% (n=7) / 35% (n=3).
 //
-// Flags: --sizes=64,128,... --load=2000 --seeds=N --quick
+// Flags: --sizes=64,128,... --load=2000 --seeds=N --jobs=N --quick
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -15,9 +15,10 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"sizes", "load", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv"});
+                     "quick", "csv", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "size");
+  JsonWriter json(flags, "fig9_latency_vs_msgsize", "size", "latency_ms");
   const double load = flags.get_double("load", 2000);
   const auto sizes = flags.get_int_list(
       "sizes", bc.quick
@@ -28,13 +29,23 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 9: early latency (ms) vs message size ==\n");
   std::printf("offered load = %.0f msgs/s; %zu seed(s), 95%% CI\n\n", load,
               bc.seeds);
+
+  const auto curves = paper_curves();
+  const auto grid = run_grid(sizes, curves, bc,
+                             [&](std::int64_t size, const Curve& c) {
+                               return sweep_point(
+                                   c, load, static_cast<std::size_t>(size),
+                                   bc);
+                             });
+
   print_header("size");
-  for (std::int64_t size : sizes) {
-    std::printf("%-10lld", static_cast<long long>(size));
-    for (const auto& c : paper_curves()) {
-      auto r = run_point(c, load, static_cast<std::size_t>(size), bc);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%-10lld", static_cast<long long>(sizes[i]));
+    for (std::size_t j = 0; j < curves.size(); ++j) {
+      const auto& r = grid[i][j];
       std::printf(" | %-22s", util::format_ci(r.latency_ms, 2).c_str());
-      csv.row(size, c, r.latency_ms);
+      csv.row(sizes[i], curves[j], r.latency_ms);
+      json.row(sizes[i], curve_label(curves[j]), r.latency_ms);
     }
     std::printf("\n");
     std::fflush(stdout);

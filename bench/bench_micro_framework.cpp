@@ -47,7 +47,7 @@ void BM_WireHeaderRoundTrip(benchmark::State& state) {
   world.attach(0, &sender);
   world.attach(1, &receiver);
   std::size_t delivered = 0;
-  receiver.bind_wire(kModule, [&](util::ProcessId, util::Bytes msg) {
+  receiver.bind_wire(kModule, [&](util::ProcessId, util::Payload msg) {
     delivered += msg.size();
   });
   const util::Bytes payload(payload_size, 0xaa);

@@ -1,0 +1,167 @@
+// Microbench — raw simulator-core throughput (events/sec, msgs/sec).
+//
+// Exercises the three hot shapes behind every figure number:
+//  * chains: self-rescheduling events at constant queue depth — the raw
+//    schedule+pop+dispatch cost (timer/CPU-chain pattern), at a shallow
+//    (1k) and a protocol-scale (256k) queue;
+//  * churn: schedule 4, cancel 3 per firing — the retransmit-timer pattern,
+//    dominated by cancel cost;
+//  * netfan: n-way broadcast fan-out through the Network with the Fig. 8
+//    payload size — the per-message path including payload handling.
+//
+// Writes machine-readable results to results/bench_micro_simcore.json so
+// the perf trajectory is tracked from PR to PR.
+//
+// Flags: --quick --json=<path|none>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+using namespace modcast;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Self-rescheduling chains: constant queue depth, measures raw
+// schedule+pop+dispatch cost.
+struct Chain {
+  sim::Simulator* s;
+  std::uint64_t* count;
+  std::uint64_t target;
+  int stride;
+};
+
+void step(Chain* c) {
+  if (++*c->count >= c->target) {
+    c->s->stop();
+    return;
+  }
+  c->s->after(c->stride, [c] { step(c); });
+}
+
+double bench_chains(std::size_t depth, std::uint64_t target,
+                    const char* label) {
+  sim::Simulator s;
+  std::uint64_t count = 0;
+  std::vector<Chain> chains(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    chains[i] = Chain{&s, &count, target, 100 + static_cast<int>(i % 7)};
+    s.after(static_cast<int>(i), [c = &chains[i]] { step(c); });
+  }
+  const double t0 = now_s();
+  s.run();
+  const double dt = now_s() - t0;
+  const double rate = static_cast<double>(count) / dt;
+  std::printf("%-14s %12llu events in %6.3fs = %12.0f events/sec\n", label,
+              static_cast<unsigned long long>(count), dt, rate);
+  return rate;
+}
+
+// Timer churn: schedule 4, cancel 3 per fire (retransmit-timer pattern).
+struct Churn {
+  sim::Simulator* s;
+  std::uint64_t* fired;
+  std::uint64_t target;
+};
+
+void churn_step(Churn* c) {
+  if (++*c->fired >= c->target) {
+    c->s->stop();
+    return;
+  }
+  sim::EventId ids[4];
+  for (int i = 0; i < 4; ++i) {
+    ids[i] = c->s->after(50 + i, [c] { churn_step(c); });
+  }
+  for (int i = 1; i < 4; ++i) c->s->cancel(ids[i]);
+}
+
+double bench_churn(std::uint64_t target) {
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  Churn c{&s, &fired, target};
+  s.after(0, [p = &c] { churn_step(p); });
+  const double t0 = now_s();
+  s.run();
+  const double dt = now_s() - t0;
+  const double rate = static_cast<double>(fired) * 4.0 / dt;
+  std::printf("%-14s %12llu firings in %5.3fs = %12.0f sched-ops/sec\n",
+              "churn", static_cast<unsigned long long>(fired), dt, rate);
+  return rate;
+}
+
+// Broadcast fan-out through the Network with the Fig. 8 message size:
+// measures the per-message path including payload handling. The wire
+// message is built once, as in a real broadcast (one serialization,
+// ref-counted fan-out).
+double bench_netfan(std::size_t n, std::size_t payload_size,
+                    std::uint64_t target) {
+  sim::Simulator s;
+  sim::Network net(s, n);
+  std::uint64_t delivered = 0;
+  const util::Payload payload{util::Bytes(payload_size, 0xAB)};
+  for (std::size_t p = 0; p < n; ++p) {
+    net.set_endpoint(p, [&, p](util::ProcessId, util::Payload msg) {
+      (void)msg;
+      ++delivered;
+      if (delivered >= target) {
+        s.stop();
+        return;
+      }
+      if (delivered % (n - 1) == 0) {
+        for (std::size_t q = 0; q < n; ++q) {
+          if (q != p) net.send(p, q, payload);
+        }
+      }
+    });
+  }
+  for (std::size_t q = 1; q < n; ++q) net.send(0, q, payload);
+  const double t0 = now_s();
+  s.run();
+  const double dt = now_s() - t0;
+  const double rate = static_cast<double>(delivered) / dt;
+  std::printf("%-14s %12llu messages in %5.3fs = %12.0f msgs/sec\n",
+              "netfan(8,16K)", static_cast<unsigned long long>(delivered), dt,
+              rate);
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {"quick", "json"});
+  const bool quick = flags.get_bool("quick", false);
+  const std::uint64_t chain_target = quick ? 500'000 : 5'000'000;
+  const std::uint64_t churn_target = quick ? 200'000 : 2'000'000;
+  const std::uint64_t fan_target = quick ? 50'000 : 400'000;
+
+  std::printf("== Microbench: simulator core ==\n\n");
+  const double chains_1k = bench_chains(1024, chain_target, "chains-1k");
+  const double chains_256k =
+      bench_chains(262144, chain_target, "chains-256k");
+  const double churn = bench_churn(churn_target);
+  const double netfan = bench_netfan(8, 16384, fan_target);
+
+  if (flags.get("json", "") != "none") {
+    char body[512];
+    std::snprintf(body, sizeof(body),
+                  "\"metrics\": {\"chains_1k_events_per_sec\": %.0f, "
+                  "\"chains_256k_events_per_sec\": %.0f, "
+                  "\"churn_sched_ops_per_sec\": %.0f, "
+                  "\"netfan_msgs_per_sec\": %.0f}",
+                  chains_1k, chains_256k, churn, netfan);
+    bench::write_json_result("bench_micro_simcore", body,
+                             flags.get("json", ""));
+  }
+  return 0;
+}

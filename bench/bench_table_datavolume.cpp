@@ -6,7 +6,7 @@
 // values come from the serialized bytes the real stacks put on the wire
 // (headers included, failure detector excluded).
 //
-// Flags: --n_list=3,7 --size=16384 --seeds=N --quick
+// Flags: --n_list=3,7 --size=16384 --seeds=N --jobs=N --quick
 #include "analysis/analytical_model.hpp"
 #include "bench_util.hpp"
 
@@ -16,11 +16,29 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n_list", "size", "seeds", "warmup_s", "measure_s",
-                     "quick"});
+                     "quick", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list("n_list", {3, 7});
   const auto size = static_cast<std::size_t>(flags.get_int("size", 16384));
   const double l = static_cast<double>(size);
+
+  std::vector<workload::SweepPoint> points;
+  for (std::int64_t n : n_list) {
+    workload::SweepPoint pt;
+    pt.n = static_cast<std::size_t>(n);
+    pt.workload.offered_load = 8000;
+    pt.workload.message_size = size;
+    pt.workload.warmup = util::from_seconds(bc.warmup_s);
+    pt.workload.measure = util::from_seconds(bc.measure_s);
+    pt.seeds = bc.seeds;
+    pt.stack.kind = core::StackKind::kModular;
+    pt.stack.max_batch = 4;
+    pt.stack.window = 4;
+    points.push_back(pt);
+    pt.stack.kind = core::StackKind::kMonolithic;
+    points.push_back(pt);
+  }
+  const auto results = workload::run_sweep(points, bc.jobs);
 
   std::printf("== Table (§5.2.2): data per consensus execution (KiB) ==\n");
   std::printf("saturated workload, M = 4, l = %zu B\n\n", size);
@@ -29,24 +47,11 @@ int main(int argc, char** argv) {
   std::printf("----+----------------------+----------------------+"
               "----------------------\n");
 
-  for (std::int64_t n : n_list) {
-    workload::WorkloadConfig wl;
-    wl.offered_load = 8000;
-    wl.message_size = size;
-    wl.warmup = util::from_seconds(bc.warmup_s);
-    wl.measure = util::from_seconds(bc.measure_s);
-
-    core::StackOptions modular;
-    modular.kind = core::StackKind::kModular;
-    modular.max_batch = 4;
-    modular.window = 4;
-    core::StackOptions mono = modular;
-    mono.kind = core::StackKind::kMonolithic;
-
-    auto rm = workload::run_experiment(static_cast<std::size_t>(n), modular,
-                                       wl, bc.seeds);
-    auto rn = workload::run_experiment(static_cast<std::size_t>(n), mono, wl,
-                                       bc.seeds);
+  std::string json_rows;
+  for (std::size_t i = 0; i < n_list.size(); ++i) {
+    const std::int64_t n = n_list[i];
+    const auto& rm = results[2 * i];
+    const auto& rn = results[2 * i + 1];
 
     const double paper_mod = analysis::modular_data_per_consensus(
         static_cast<std::uint64_t>(n), 4, l);
@@ -64,6 +69,20 @@ int main(int argc, char** argv) {
                 rn.bytes_per_consensus / 1024.0, paper_ovh * 100.0,
                 meas_ovh * 100.0);
     std::fflush(stdout);
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"n\": %lld, \"modular_kib\": %.3f, "
+                  "\"monolithic_kib\": %.3f, \"overhead_paper\": %.4f, "
+                  "\"overhead_measured\": %.4f}",
+                  static_cast<long long>(n), rm.bytes_per_consensus / 1024.0,
+                  rn.bytes_per_consensus / 1024.0, paper_ovh, meas_ovh);
+    if (i > 0) json_rows += ", ";
+    json_rows += buf;
+  }
+  if (flags.get("json", "") != "none") {
+    write_json_result("table_datavolume", "\"points\": [" + json_rows + "]",
+                      flags.get("json", ""));
   }
   std::printf(
       "\npaper: overhead = (n-1)/(n+1): 50%% more data at n=3, 75%% at "

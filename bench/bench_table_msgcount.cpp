@@ -6,7 +6,7 @@
 // full). The worked example: n = 3, M = 4 → modular 16 messages vs
 // monolithic 4.
 //
-// Flags: --n_list=3,5,7 --size=1024 --seeds=N --quick
+// Flags: --n_list=3,5,7 --size=1024 --seeds=N --jobs=N --quick
 #include "analysis/analytical_model.hpp"
 #include "bench_util.hpp"
 
@@ -16,10 +16,28 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n_list", "size", "seeds", "warmup_s", "measure_s",
-                     "quick"});
+                     "quick", "json", "jobs"});
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list("n_list", {3, 5, 7});
   const auto size = static_cast<std::size_t>(flags.get_int("size", 1024));
+
+  std::vector<workload::SweepPoint> points;
+  for (std::int64_t n : n_list) {
+    workload::SweepPoint pt;
+    pt.n = static_cast<std::size_t>(n);
+    pt.workload.offered_load = 8000;  // far above saturation
+    pt.workload.message_size = size;
+    pt.workload.warmup = util::from_seconds(bc.warmup_s);
+    pt.workload.measure = util::from_seconds(bc.measure_s);
+    pt.seeds = bc.seeds;
+    pt.stack.kind = core::StackKind::kModular;
+    pt.stack.max_batch = 4;
+    pt.stack.window = 4;
+    points.push_back(pt);
+    pt.stack.kind = core::StackKind::kMonolithic;
+    points.push_back(pt);
+  }
+  const auto results = workload::run_sweep(points, bc.jobs);
 
   std::printf("== Table (§5.2.1): messages per consensus execution ==\n");
   std::printf("saturated workload, M = 4 (flow control), size = %zu B\n\n",
@@ -29,24 +47,11 @@ int main(int argc, char** argv) {
   std::printf("----+----------------------+----------------------+"
               "----------------\n");
 
-  for (std::int64_t n : n_list) {
-    workload::WorkloadConfig wl;
-    wl.offered_load = 8000;  // far above saturation
-    wl.message_size = size;
-    wl.warmup = util::from_seconds(bc.warmup_s);
-    wl.measure = util::from_seconds(bc.measure_s);
-
-    core::StackOptions modular;
-    modular.kind = core::StackKind::kModular;
-    modular.max_batch = 4;
-    modular.window = 4;
-    core::StackOptions mono = modular;
-    mono.kind = core::StackKind::kMonolithic;
-
-    auto rm = workload::run_experiment(static_cast<std::size_t>(n), modular,
-                                       wl, bc.seeds);
-    auto rn = workload::run_experiment(static_cast<std::size_t>(n), mono, wl,
-                                       bc.seeds);
+  std::string json_rows;
+  for (std::size_t i = 0; i < n_list.size(); ++i) {
+    const std::int64_t n = n_list[i];
+    const auto& rm = results[2 * i];
+    const auto& rn = results[2 * i + 1];
 
     const auto paper_mod = analysis::modular_messages_per_consensus(
         static_cast<std::uint64_t>(n), 4);
@@ -65,6 +70,22 @@ int main(int argc, char** argv) {
                     ? rm.msgs_per_consensus / rn.msgs_per_consensus
                     : 0.0);
     std::fflush(stdout);
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"n\": %lld, \"modular_measured\": %.3f, "
+                  "\"monolithic_measured\": %.3f, \"modular_paper\": %llu, "
+                  "\"monolithic_paper\": %llu}",
+                  static_cast<long long>(n), rm.msgs_per_consensus,
+                  rn.msgs_per_consensus,
+                  static_cast<unsigned long long>(paper_mod),
+                  static_cast<unsigned long long>(paper_mono));
+    if (i > 0) json_rows += ", ";
+    json_rows += buf;
+  }
+  if (flags.get("json", "") != "none") {
+    write_json_result("table_msgcount", "\"points\": [" + json_rows + "]",
+                      flags.get("json", ""));
   }
   std::printf(
       "\npaper worked example: n=3, M=4 -> modular 16 vs monolithic 4\n"

@@ -2,13 +2,15 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/abcast_process.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
-#include "workload/experiment.hpp"
+#include "workload/sweep.hpp"
 
 namespace modcast::bench {
 
@@ -34,6 +36,7 @@ struct BenchConfig {
   double warmup_s = 1.5;
   double measure_s = 3.0;
   bool quick = false;
+  std::size_t jobs = 0;  ///< sweep parallelism; 0 = hardware concurrency
 };
 
 inline BenchConfig bench_config(const util::Flags& flags) {
@@ -43,21 +46,54 @@ inline BenchConfig bench_config(const util::Flags& flags) {
       flags.get_int("seeds", cfg.quick ? 1 : 2));
   cfg.warmup_s = flags.get_double("warmup_s", cfg.quick ? 1.0 : 1.5);
   cfg.measure_s = flags.get_double("measure_s", cfg.quick ? 1.5 : 3.0);
+  cfg.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   return cfg;
+}
+
+inline workload::SweepPoint sweep_point(const Curve& curve,
+                                        double offered_load,
+                                        std::size_t message_size,
+                                        const BenchConfig& bc) {
+  workload::SweepPoint pt;
+  pt.n = curve.n;
+  pt.stack.kind = curve.kind;
+  pt.workload.offered_load = offered_load;
+  pt.workload.message_size = message_size;
+  pt.workload.warmup = util::from_seconds(bc.warmup_s);
+  pt.workload.measure = util::from_seconds(bc.measure_s);
+  pt.seeds = bc.seeds;
+  return pt;
 }
 
 inline workload::AggregateResult run_point(const Curve& curve,
                                            double offered_load,
                                            std::size_t message_size,
                                            const BenchConfig& bc) {
-  core::StackOptions stack;
-  stack.kind = curve.kind;
-  workload::WorkloadConfig wl;
-  wl.offered_load = offered_load;
-  wl.message_size = message_size;
-  wl.warmup = util::from_seconds(bc.warmup_s);
-  wl.measure = util::from_seconds(bc.measure_s);
-  return workload::run_experiment(curve.n, stack, wl, bc.seeds);
+  const workload::SweepPoint pt =
+      sweep_point(curve, offered_load, message_size, bc);
+  return workload::run_experiment(pt.n, pt.stack, pt.workload, pt.seeds);
+}
+
+/// Runs the full xs × curves grid through the parallel sweep runner and
+/// returns results indexed [x][curve]. point_of(x, curve) builds each
+/// SweepPoint; rows come back in input order regardless of job count.
+template <typename PointOf>
+inline std::vector<std::vector<workload::AggregateResult>> run_grid(
+    const std::vector<std::int64_t>& xs, const std::vector<Curve>& curves,
+    const BenchConfig& bc, PointOf&& point_of) {
+  std::vector<workload::SweepPoint> pts;
+  pts.reserve(xs.size() * curves.size());
+  for (std::int64_t x : xs) {
+    for (const Curve& c : curves) pts.push_back(point_of(x, c));
+  }
+  const auto flat = workload::run_sweep(pts, bc.jobs);
+  std::vector<std::vector<workload::AggregateResult>> grid(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    grid[i].assign(flat.begin() + static_cast<std::ptrdiff_t>(i * curves.size()),
+                   flat.begin() +
+                       static_cast<std::ptrdiff_t>((i + 1) * curves.size()));
+  }
+  return grid;
 }
 
 /// Optional CSV mirror of a figure's data (one row per (x, curve) point),
@@ -89,6 +125,89 @@ class CsvWriter {
 
  private:
   std::FILE* file_ = nullptr;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Writes one bench's machine-readable result to results/<bench>.json (the
+/// directory is created if missing). `body` is the JSON payload without the
+/// outer braces; the helper adds the bench name. Returns false on I/O error.
+/// Shared by the figure benches (via JsonWriter) and the microbenches.
+inline bool write_json_result(const std::string& bench,
+                              const std::string& body,
+                              std::string path = "") {
+  if (path.empty()) path = "results/" + bench + ".json";
+  std::error_code ec;
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"bench\": \"%s\", %s}\n", json_escape(bench).c_str(),
+               body.c_str());
+  std::fclose(f);
+  return true;
+}
+
+/// JSON mirror of a figure's data, written on destruction to
+/// results/<bench>.json. --json=<path> overrides the location; --json=none
+/// disables it.
+class JsonWriter {
+ public:
+  JsonWriter(const util::Flags& flags, std::string bench, std::string x_name,
+             std::string metric)
+      : bench_(std::move(bench)),
+        x_name_(std::move(x_name)),
+        metric_(std::move(metric)),
+        path_(flags.get("json", "")) {
+    enabled_ = path_ != "none";
+  }
+  ~JsonWriter() {
+    if (!enabled_) return;
+    std::string body = "\"x\": \"" + json_escape(x_name_) +
+                       "\", \"metric\": \"" + json_escape(metric_) +
+                       "\", \"points\": [";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (i > 0) body += ", ";
+      body += points_[i];
+    }
+    body += "]";
+    write_json_result(bench_, body, path_ == "none" ? "" : path_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void row(std::int64_t x, const std::string& curve,
+           const util::ConfidenceInterval& ci) {
+    if (!enabled_) return;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"%s\": %lld, \"curve\": \"%s\", \"mean\": %.6f, "
+                  "\"ci_half\": %.6f}",
+                  json_escape(x_name_).c_str(), static_cast<long long>(x),
+                  json_escape(curve).c_str(), ci.mean, ci.half_width);
+    points_.emplace_back(buf);
+  }
+
+ private:
+  std::string bench_;
+  std::string x_name_;
+  std::string metric_;
+  std::string path_;
+  bool enabled_ = true;
+  std::vector<std::string> points_;
 };
 
 inline void print_header(const char* x_name) {

@@ -15,7 +15,7 @@ constexpr std::uint8_t kPayloadPush = 3;  ///< indirect: requested payloads
 void ModularAbcast::init(framework::Stack& stack) {
   stack_ = &stack;
   stack.bind_wire(framework::kModAbcast,
-                  [this](util::ProcessId from, util::Bytes msg) {
+                  [this](util::ProcessId from, util::Payload msg) {
                     on_wire(from, std::move(msg));
                   });
   stack.bind(framework::kEvDecide, [this](const framework::Event& ev) {
@@ -89,7 +89,7 @@ void ModularAbcast::add_pending(AppMessage m) {
   maybe_propose();
 }
 
-void ModularAbcast::on_wire(util::ProcessId from, util::Bytes msg) {
+void ModularAbcast::on_wire(util::ProcessId from, util::Payload msg) {
   last_activity_ = stack_->rt().now();
   util::ByteReader r(msg);
   const std::uint8_t kind = r.u8();

@@ -106,7 +106,7 @@ class ModularAbcast final : public framework::Module {
   bool validate_value(std::uint64_t k, const util::Bytes& value);
 
  private:
-  void on_wire(util::ProcessId from, util::Bytes msg);
+  void on_wire(util::ProcessId from, util::Payload msg);
   void on_decide(std::uint64_t k, const util::Bytes& value);
   void on_propose_request(std::uint64_t k);
   void admit_queued();

@@ -20,7 +20,7 @@ void ReliableChannel::start() {
   upper_->start();
 }
 
-void ReliableChannel::send(util::ProcessId to, util::Bytes msg) {
+void ReliableChannel::send(util::ProcessId to, util::Payload msg) {
   if (to == rt_->self()) {
     rt_->send(to, std::move(msg));  // loopback: nothing to make reliable
     return;
@@ -34,7 +34,7 @@ void ReliableChannel::send(util::ProcessId to, util::Bytes msg) {
 }
 
 void ReliableChannel::transmit(util::ProcessId to, std::uint32_t seq,
-                               const util::Bytes& payload) {
+                               const util::Payload& payload) {
   Peer& peer = peers_.at(to);
   util::ByteWriter w(payload.size() + 9);
   w.u8(kData);
@@ -50,7 +50,7 @@ void ReliableChannel::transmit(util::ProcessId to, std::uint32_t seq,
   rt_->send(to, w.take());
 }
 
-void ReliableChannel::on_message(util::ProcessId from, util::Bytes raw) {
+void ReliableChannel::on_message(util::ProcessId from, util::Payload raw) {
   if (from == rt_->self()) {
     if (upper_) upper_->on_message(from, std::move(raw));
     return;
@@ -80,7 +80,7 @@ void ReliableChannel::on_message(util::ProcessId from, util::Bytes raw) {
   }
   if (seq > peer.expected) {
     // Early segment (a predecessor was dropped): buffer, ask again.
-    if (peer.reorder.emplace(seq, r.raw(r.remaining())).second) {
+    if (peer.reorder.emplace(seq, raw.slice(r.position())).second) {
       ++stats_.out_of_order_buffered;
     } else {
       ++stats_.duplicates_dropped;
@@ -90,12 +90,12 @@ void ReliableChannel::on_message(util::ProcessId from, util::Bytes raw) {
   }
 
   // In order: deliver, then drain the reorder buffer.
-  util::Bytes payload = r.raw(r.remaining());
+  util::Payload payload = raw.slice(r.position());
   ++peer.expected;
   if (upper_) upper_->on_message(from, std::move(payload));
   while (!peer.reorder.empty() &&
          peer.reorder.begin()->first == peer.expected) {
-    util::Bytes next = std::move(peer.reorder.begin()->second);
+    util::Payload next = std::move(peer.reorder.begin()->second);
     peer.reorder.erase(peer.reorder.begin());
     ++peer.expected;
     if (upper_) upper_->on_message(from, std::move(next));

@@ -47,28 +47,28 @@ class ReliableChannel final : public runtime::Protocol {
   void set_upper(runtime::Protocol* upper) { upper_ = upper; }
 
   /// Reliable in-order send to `to` (self-sends bypass the machinery).
-  void send(util::ProcessId to, util::Bytes msg);
+  void send(util::ProcessId to, util::Payload msg);
 
   const ChannelStats& stats() const { return stats_; }
 
   // runtime::Protocol
   void start() override;
-  void on_message(util::ProcessId from, util::Bytes raw) override;
+  void on_message(util::ProcessId from, util::Payload raw) override;
 
  private:
   struct Peer {
     // Sender side.
     std::uint32_t next_seq = 0;
-    std::map<std::uint32_t, util::Bytes> unacked;  ///< seq → payload
+    std::map<std::uint32_t, util::Payload> unacked;  ///< seq → payload
     runtime::TimerId rto_timer = runtime::kInvalidTimer;
     // Receiver side.
     std::uint32_t expected = 0;  ///< all seq < expected delivered
-    std::map<std::uint32_t, util::Bytes> reorder;  ///< buffered early segs
+    std::map<std::uint32_t, util::Payload> reorder;  ///< buffered early segs
     runtime::TimerId ack_timer = runtime::kInvalidTimer;
   };
 
   void transmit(util::ProcessId to, std::uint32_t seq,
-                const util::Bytes& payload);
+                const util::Payload& payload);
   void process_ack(util::ProcessId from, std::uint32_t ack);
   void schedule_ack(util::ProcessId from);
   void send_ack_now(util::ProcessId to);
@@ -92,7 +92,7 @@ class ChanneledRuntime final : public runtime::Runtime {
   util::ProcessId self() const override { return inner_->self(); }
   std::size_t group_size() const override { return inner_->group_size(); }
   util::TimePoint now() const override { return inner_->now(); }
-  void send(util::ProcessId to, util::Bytes msg) override {
+  void send(util::ProcessId to, util::Payload msg) override {
     channel_->send(to, std::move(msg));
   }
   runtime::TimerId set_timer(util::Duration delay,

@@ -28,7 +28,7 @@ constexpr std::uint8_t kDecisionFull = 11;
 void ChandraTouegConsensus::init(framework::Stack& stack) {
   stack_ = &stack;
   stack.bind_wire(framework::kModConsensus,
-                  [this](util::ProcessId from, util::Bytes msg) {
+                  [this](util::ProcessId from, util::Payload msg) {
                     on_wire(from, std::move(msg));
                   });
   stack.bind(framework::kEvPropose, [this](const framework::Event& ev) {
@@ -376,7 +376,8 @@ void ChandraTouegConsensus::start_pull(Instance& inst) {
       });
 }
 
-void ChandraTouegConsensus::on_wire(util::ProcessId from, util::Bytes msg) {
+void ChandraTouegConsensus::on_wire(util::ProcessId from,
+                                    util::Payload msg) {
   util::ByteReader r(msg);
   const std::uint8_t kind = r.u8();
   switch (kind) {
@@ -575,7 +576,7 @@ void ChandraTouegConsensus::on_pull(util::ProcessId from, std::uint64_t k) {
 }
 
 void ChandraTouegConsensus::on_rdeliver(util::ProcessId origin,
-                                        const util::Bytes& payload) {
+                                        const util::Payload& payload) {
   (void)origin;
   util::ByteReader r(payload);
   const std::uint8_t kind = r.u8();

@@ -144,8 +144,8 @@ class ChandraTouegConsensus final : public framework::Module {
   void start_pull(Instance& inst);
   void arm_nudge(Instance& inst);
 
-  void on_wire(util::ProcessId from, util::Bytes msg);
-  void on_rdeliver(util::ProcessId origin, const util::Bytes& payload);
+  void on_wire(util::ProcessId from, util::Payload msg);
+  void on_rdeliver(util::ProcessId origin, const util::Payload& payload);
   void on_suspect(util::ProcessId q);
 
   void on_estimate(util::ProcessId from, std::uint64_t k, std::uint32_t round,

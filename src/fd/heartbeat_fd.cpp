@@ -11,7 +11,7 @@ constexpr std::uint8_t kHeartbeat = 1;
 void HeartbeatFd::init(framework::Stack& stack) {
   stack_ = &stack;
   stack.bind_wire(framework::kModFd,
-                  [this](util::ProcessId from, util::Bytes payload) {
+                  [this](util::ProcessId from, util::Payload payload) {
                     on_wire(from, std::move(payload));
                   });
 }
@@ -43,7 +43,7 @@ void HeartbeatFd::tick() {
   stack_->rt().set_timer(config_.heartbeat_interval, [this] { tick(); });
 }
 
-void HeartbeatFd::on_wire(util::ProcessId from, util::Bytes payload) {
+void HeartbeatFd::on_wire(util::ProcessId from, util::Payload payload) {
   util::ByteReader r(payload);
   if (r.u8() != kHeartbeat) return;
   last_heard_[from] = stack_->rt().now();

@@ -44,7 +44,7 @@ class HeartbeatFd final : public framework::Module {
   std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
 
  private:
-  void on_wire(util::ProcessId from, util::Bytes payload);
+  void on_wire(util::ProcessId from, util::Payload payload);
   void tick();
   void mark_suspected(util::ProcessId q);
   void mark_restored(util::ProcessId q);

@@ -89,15 +89,17 @@ struct ProposeRequestBody {
   std::uint64_t instance = 0;
 };
 
-/// Body of kEvRbcast: opaque payload to broadcast reliably.
+/// Body of kEvRbcast: opaque payload to broadcast reliably. Payload, not
+/// Bytes: the broadcast fans out to n-1 peers and the delivered view is a
+/// zero-copy slice of the received wire message.
 struct RbcastBody {
-  util::Bytes payload;
+  util::Payload payload;
 };
 
 /// Body of kEvRdeliver: origin plus the opaque payload.
 struct RdeliverBody {
   util::ProcessId origin = util::kInvalidProcess;
-  util::Bytes payload;
+  util::Payload payload;
 };
 
 /// Body of kEvSuspect / kEvRestore.

@@ -13,45 +13,54 @@ void Stack::add(Module& module) {
   module.init(*this);
 }
 
-void Stack::bind(EventType type, std::function<void(const Event&)> handler) {
+void Stack::bind(EventType type, EventHandler handler) {
+  if (bindings_.size() <= type) bindings_.resize(type + 1);
   bindings_[type].push_back(std::move(handler));
 }
 
-void Stack::bind_wire(
-    ModuleId module_id,
-    std::function<void(util::ProcessId, util::Bytes)> handler) {
+void Stack::bind_wire(ModuleId module_id, WireHandler handler) {
   wire_bindings_[module_id] = std::move(handler);
 }
 
 void Stack::raise(Event event) {
-  auto it = bindings_.find(event.type);
-  if (it == bindings_.end()) return;
+  if (event.type >= bindings_.size() || bindings_[event.type].empty()) return;
   if (tracer_) {
     tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kLocalEvent,
                         event.type, util::kInvalidProcess, 0});
   }
-  for (auto& handler : it->second) {
+  for (auto& handler : bindings_[event.type]) {
     ++counters_.local_events;
     if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
     handler(event);
   }
 }
 
-void Stack::send_wire(util::ProcessId to, ModuleId module_id,
-                      const util::Bytes& payload) {
-  ++counters_.wire_sends;
-  auto& wc = wire_counters_[module_id];
-  ++wc.messages_sent;
-  wc.bytes_sent += payload.size() + 1;
-  if (tracer_) {
-    tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kWireSend,
-                        module_id, to, payload.size()});
-  }
-  if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
+util::Payload Stack::frame(ModuleId module_id,
+                           const util::Payload& payload) const {
   util::ByteWriter w(payload.size() + 1);
   w.u8(module_id);
   w.raw(payload);
-  rt_->send(to, w.take());
+  return util::Payload(w.take());
+}
+
+void Stack::send_framed(util::ProcessId to, ModuleId module_id,
+                        const util::Payload& framed,
+                        std::size_t payload_size) {
+  ++counters_.wire_sends;
+  auto& wc = wire_counters_[module_id];
+  ++wc.messages_sent;
+  wc.bytes_sent += payload_size + 1;
+  if (tracer_) {
+    tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kWireSend,
+                        module_id, to, payload_size});
+  }
+  if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
+  rt_->send(to, framed);
+}
+
+void Stack::send_wire(util::ProcessId to, ModuleId module_id,
+                      const util::Payload& payload) {
+  send_framed(to, module_id, frame(module_id, payload), payload.size());
 }
 
 const ModuleWireCounters& Stack::wire_counters(ModuleId module_id) const {
@@ -63,10 +72,12 @@ void Stack::reset_wire_counters() {
 }
 
 void Stack::send_wire_to_others(ModuleId module_id,
-                                const util::Bytes& payload) {
+                                const util::Payload& payload) {
   const auto n = static_cast<util::ProcessId>(rt_->group_size());
+  // One serialization; every destination shares the ref-counted frame.
+  const util::Payload framed = frame(module_id, payload);
   for (util::ProcessId p = 0; p < n; ++p) {
-    if (p != rt_->self()) send_wire(p, module_id, payload);
+    if (p != rt_->self()) send_framed(p, module_id, framed, payload.size());
   }
 }
 
@@ -74,14 +85,14 @@ void Stack::start() {
   for (Module* m : modules_) m->start();
 }
 
-void Stack::on_message(util::ProcessId from, util::Bytes msg) {
+void Stack::on_message(util::ProcessId from, util::Payload msg) {
   if (msg.empty()) {
     MODCAST_WARN("stack: dropped empty message");
     return;
   }
   const ModuleId module_id = msg[0];
-  auto it = wire_bindings_.find(module_id);
-  if (it == wire_bindings_.end()) {
+  auto& handler = wire_bindings_[module_id];
+  if (!handler) {
     MODCAST_WARN("stack: no module bound for wire id " +
                  std::to_string(module_id));
     return;
@@ -93,8 +104,9 @@ void Stack::on_message(util::ProcessId from, util::Bytes msg) {
                         module_id, from, msg.size() - 1});
   }
   if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
-  msg.erase(msg.begin());
-  it->second(from, std::move(msg));
+  // Zero-copy header strip: the handler sees a narrower view of the same
+  // buffer.
+  handler(from, msg.slice(1));
 }
 
 }  // namespace modcast::framework

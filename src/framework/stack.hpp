@@ -16,7 +16,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string_view>
 #include <vector>
 
@@ -73,24 +72,27 @@ class Stack final : public runtime::Protocol {
   /// Adds a module (non-owning) and runs its init().
   void add(Module& module);
 
+  using EventHandler = std::function<void(const Event&)>;
+  using WireHandler =
+      std::function<void(util::ProcessId from, util::Payload payload)>;
+
   /// Registers a handler for a local event type. Multiple handlers fire in
   /// registration order.
-  void bind(EventType type, std::function<void(const Event&)> handler);
+  void bind(EventType type, EventHandler handler);
 
   /// Registers the handler for wire messages addressed to `module_id`.
-  void bind_wire(ModuleId module_id,
-                 std::function<void(util::ProcessId from, util::Bytes payload)>
-                     handler);
+  void bind_wire(ModuleId module_id, WireHandler handler);
 
   /// Raises a local event synchronously to all bound handlers.
   void raise(Event event);
 
   /// Sends `payload` to process `to`, prefixed with the module-id header.
   void send_wire(util::ProcessId to, ModuleId module_id,
-                 const util::Bytes& payload);
+                 const util::Payload& payload);
 
-  /// Sends the same payload to every other process in the group.
-  void send_wire_to_others(ModuleId module_id, const util::Bytes& payload);
+  /// Sends the same payload to every other process in the group. The framed
+  /// message is built once and shared (ref-counted) across all n-1 sends.
+  void send_wire_to_others(ModuleId module_id, const util::Payload& payload);
 
   const StackCounters& counters() const { return counters_; }
 
@@ -105,17 +107,24 @@ class Stack final : public runtime::Protocol {
 
   // runtime::Protocol
   void start() override;
-  void on_message(util::ProcessId from, util::Bytes msg) override;
+  void on_message(util::ProcessId from, util::Payload msg) override;
 
  private:
+  /// Frames `payload` with the 1-byte module-id header.
+  util::Payload frame(ModuleId module_id, const util::Payload& payload) const;
+
+  /// Accounts and ships one already-framed message (per-destination
+  /// counters/trace/CPU charge happen here so fan-out stays faithful).
+  void send_framed(util::ProcessId to, ModuleId module_id,
+                   const util::Payload& framed, std::size_t payload_size);
+
   runtime::Runtime* rt_;
   util::Duration crossing_cost_;
   std::vector<Module*> modules_;
-  std::map<EventType, std::vector<std::function<void(const Event&)>>>
-      bindings_;
-  std::map<ModuleId,
-           std::function<void(util::ProcessId, util::Bytes)>>
-      wire_bindings_;
+  // Dense dispatch tables: event types and module ids are small integers,
+  // so both lookups are a single indexed load instead of a tree walk.
+  std::vector<std::vector<EventHandler>> bindings_;   // indexed by EventType
+  std::array<WireHandler, 256> wire_bindings_{};      // indexed by ModuleId
   StackCounters counters_;
   std::array<ModuleWireCounters, 256> wire_counters_{};
   TraceSink tracer_;

@@ -32,7 +32,7 @@ constexpr std::uint32_t kRelayFullChannel = 1;
 void MonolithicAbcast::init(framework::Stack& stack) {
   stack_ = &stack;
   stack.bind_wire(framework::kModMonolithic,
-                  [this](util::ProcessId from, util::Bytes msg) {
+                  [this](util::ProcessId from, util::Payload msg) {
                     on_wire(from, std::move(msg));
                   });
   stack.bind(framework::kEvSuspect, [this](const framework::Event& ev) {
@@ -701,7 +701,7 @@ void MonolithicAbcast::broadcast_decision_fallback(std::uint64_t k,
 // Wire dispatch
 // --------------------------------------------------------------------------
 
-void MonolithicAbcast::on_wire(util::ProcessId from, util::Bytes msg) {
+void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
   last_activity_ = stack_->rt().now();
   util::ByteReader r(msg);
   const std::uint8_t kind = r.u8();

@@ -188,7 +188,7 @@ class MonolithicAbcast final : public framework::Module {
   void recheck_active_estimates();
 
   // --- wire ---
-  void on_wire(util::ProcessId from, util::Bytes msg);
+  void on_wire(util::ProcessId from, util::Payload msg);
   void on_suspect(util::ProcessId q);
   void ensure_instance_progress();
   void arm_liveness_timer();

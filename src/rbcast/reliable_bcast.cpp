@@ -7,7 +7,7 @@ namespace modcast::rbcast {
 void ReliableBcast::init(framework::Stack& stack) {
   stack_ = &stack;
   stack.bind_wire(framework::kModRbcast,
-                  [this](util::ProcessId from, util::Bytes msg) {
+                  [this](util::ProcessId from, util::Payload msg) {
                     on_wire(from, std::move(msg));
                   });
   stack.bind(framework::kEvRbcast, [this](const framework::Event& ev) {
@@ -18,22 +18,23 @@ void ReliableBcast::init(framework::Stack& stack) {
   });
 }
 
-util::Bytes ReliableBcast::encode(util::ProcessId origin, std::uint64_t seq,
-                                  const util::Bytes& payload) const {
+util::Payload ReliableBcast::encode(util::ProcessId origin, std::uint64_t seq,
+                                    const util::Payload& payload) const {
   util::ByteWriter w(payload.size() + 16);
   w.u32(origin);
   w.u64(seq);
   w.blob(payload);
-  return w.take();
+  return util::Payload(w.take());
 }
 
-void ReliableBcast::rbcast(util::Bytes payload) {
+void ReliableBcast::rbcast(util::Payload payload) {
   const util::ProcessId self = stack_->self();
   const std::uint64_t seq = next_seq_++;
-  const util::Bytes encoded = encode(self, seq, payload);
+  const util::Payload encoded = encode(self, seq, payload);
   stack_->send_wire_to_others(framework::kModRbcast, encoded);
   // Local rdelivery: the broadcaster delivers without a network hop.
-  deliver_and_maybe_relay(self, seq, std::move(payload), /*i_am_origin=*/true);
+  deliver_and_maybe_relay(self, seq, std::move(payload), encoded,
+                          /*i_am_origin=*/true);
 }
 
 bool ReliableBcast::is_designated_resender(util::ProcessId origin,
@@ -48,19 +49,23 @@ bool ReliableBcast::is_designated_resender(util::ProcessId origin,
   return false;
 }
 
-void ReliableBcast::on_wire(util::ProcessId from, util::Bytes msg) {
+void ReliableBcast::on_wire(util::ProcessId from, util::Payload msg) {
   (void)from;
   util::ByteReader r(msg);
   const util::ProcessId origin = r.u32();
   const std::uint64_t seq = r.u64();
-  util::Bytes payload = r.blob();
-  deliver_and_maybe_relay(origin, seq, std::move(payload),
+  const std::uint32_t len = r.u32();
+  // Zero-copy: the delivered payload is a slice of the received message,
+  // and a relay forwards the received encoding verbatim.
+  util::Payload payload = msg.slice(r.position(), len);
+  deliver_and_maybe_relay(origin, seq, std::move(payload), msg,
                           /*i_am_origin=*/false);
 }
 
 void ReliableBcast::deliver_and_maybe_relay(util::ProcessId origin,
                                             std::uint64_t seq,
-                                            util::Bytes payload,
+                                            util::Payload payload,
+                                            const util::Payload& encoded,
                                             bool i_am_origin) {
   if (!delivered_.mark(origin, seq)) return;  // duplicate
 
@@ -70,7 +75,7 @@ void ReliableBcast::deliver_and_maybe_relay(util::ProcessId origin,
         config_.variant == Variant::kClassic ||
         is_designated_resender(origin, stack_->self());
     if (should_relay) {
-      relay(encode(origin, seq, payload));
+      relay(encoded);
       relayed = true;
     }
   }
@@ -82,12 +87,12 @@ void ReliableBcast::deliver_and_maybe_relay(util::ProcessId origin,
       framework::RdeliverBody{origin, std::move(payload)}));
 }
 
-void ReliableBcast::relay(const util::Bytes& encoded) {
+void ReliableBcast::relay(const util::Payload& encoded) {
   stack_->send_wire_to_others(framework::kModRbcast, encoded);
 }
 
 void ReliableBcast::remember(util::ProcessId origin, std::uint64_t seq,
-                             util::Bytes payload, bool relayed) {
+                             util::Payload payload, bool relayed) {
   recent_.push_back(Recent{origin, seq, std::move(payload), relayed});
   while (recent_.size() > config_.relay_buffer) recent_.pop_front();
 }

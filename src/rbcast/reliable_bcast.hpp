@@ -50,7 +50,7 @@ class ReliableBcast final : public framework::Module {
   void init(framework::Stack& stack) override;
 
   /// Broadcasts payload reliably; rdelivers locally right away.
-  void rbcast(util::Bytes payload);
+  void rbcast(util::Payload payload);
 
   /// True if `relay` is one of the designated resenders for messages
   /// originated by `origin` (majority variant).
@@ -63,19 +63,23 @@ class ReliableBcast final : public framework::Module {
   struct Recent {
     util::ProcessId origin;
     std::uint64_t seq;
-    util::Bytes payload;
+    util::Payload payload;
     bool relayed_by_me;
   };
 
-  void on_wire(util::ProcessId from, util::Bytes msg);
+  void on_wire(util::ProcessId from, util::Payload msg);
   void on_suspect(util::ProcessId q);
+  /// `encoded` is the full wire encoding of (origin, seq, payload) — for a
+  /// received message it is the message itself, so a relay forwards the
+  /// received buffer without re-serializing.
   void deliver_and_maybe_relay(util::ProcessId origin, std::uint64_t seq,
-                               util::Bytes payload, bool i_am_origin);
-  void relay(const util::Bytes& encoded);
-  util::Bytes encode(util::ProcessId origin, std::uint64_t seq,
-                     const util::Bytes& payload) const;
+                               util::Payload payload,
+                               const util::Payload& encoded, bool i_am_origin);
+  void relay(const util::Payload& encoded);
+  util::Payload encode(util::ProcessId origin, std::uint64_t seq,
+                       const util::Payload& payload) const;
   void remember(util::ProcessId origin, std::uint64_t seq,
-                util::Bytes payload, bool relayed);
+                util::Payload payload, bool relayed);
 
   RbcastConfig config_;
   const fd::HeartbeatFd* fd_;

@@ -35,8 +35,9 @@ class Runtime {
   virtual util::TimePoint now() const = 0;
 
   /// Sends msg to `to` over the quasi-reliable FIFO channel. Sending to self
-  /// is allowed and loops back locally.
-  virtual void send(util::ProcessId to, util::Bytes msg) = 0;
+  /// is allowed and loops back locally. The Payload is ref-counted, so
+  /// sending the same message to many destinations shares one buffer.
+  virtual void send(util::ProcessId to, util::Payload msg) = 0;
 
   /// One-shot timer. The callback runs in the process's execution context
   /// (never concurrently with message handlers).
@@ -65,7 +66,7 @@ class Protocol {
   virtual void start() {}
 
   /// Called for every message addressed to this process.
-  virtual void on_message(util::ProcessId from, util::Bytes msg) = 0;
+  virtual void on_message(util::ProcessId from, util::Payload msg) = 0;
 };
 
 }  // namespace modcast::runtime

@@ -15,7 +15,7 @@ class SimWorld::ProcRuntime final : public Runtime {
   std::size_t group_size() const override { return world_->size(); }
   util::TimePoint now() const override { return world_->sim_.now(); }
 
-  void send(util::ProcessId to, util::Bytes msg) override {
+  void send(util::ProcessId to, util::Payload msg) override {
     if (world_->crashed(self_)) return;
     world_->cpu(self_).charge(world_->config_.cpu.send_cost(msg.size()));
     world_->net_.send(self_, to, std::move(msg));
@@ -77,7 +77,7 @@ Runtime& SimWorld::runtime(util::ProcessId p) { return *runtimes_.at(p); }
 void SimWorld::attach(util::ProcessId p, Protocol* protocol) {
   assert(p < config_.n);
   protocols_[p] = protocol;
-  net_.set_endpoint(p, [this, p](util::ProcessId from, util::Bytes msg) {
+  net_.set_endpoint(p, [this, p](util::ProcessId from, util::Payload msg) {
     const auto cost = config_.cpu.recv_cost(msg.size());
     cpus_[p]->execute(cost, [this, p, from, m = std::move(msg)]() mutable {
       protocols_[p]->on_message(from, std::move(m));

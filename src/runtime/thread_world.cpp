@@ -18,7 +18,8 @@ struct TimerEntry {
 struct ThreadWorld::Proc {
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::pair<util::ProcessId, util::Bytes>> inbox;
+  std::deque<std::pair<util::ProcessId, util::Payload>> inbox;
+  std::deque<std::function<void()>> tasks;  // post()ed external closures
   std::vector<TimerEntry> timers;  // unsorted; scanned for earliest
   TimerId next_timer = 1;
   bool stopping = false;
@@ -38,7 +39,7 @@ class ThreadWorld::ProcRuntime final : public Runtime {
   std::size_t group_size() const override { return world_->size(); }
   util::TimePoint now() const override { return world_->now(); }
 
-  void send(util::ProcessId to, util::Bytes msg) override {
+  void send(util::ProcessId to, util::Payload msg) override {
     auto& src = *world_->procs_.at(self_);
     {
       std::lock_guard lock(src.mu);
@@ -69,6 +70,10 @@ class ThreadWorld::ProcRuntime final : public Runtime {
     ts.erase(std::remove_if(ts.begin(), ts.end(),
                             [id](const TimerEntry& t) { return t.id == id; }),
              ts.end());
+    // The thread may be sleeping until the cancelled deadline; wake it so it
+    // re-derives the earliest remaining timer instead of spuriously waking
+    // at the stale time.
+    proc.cv.notify_one();
   }
 
   util::Rng& rng() override { return world_->procs_.at(self_)->rng; }
@@ -123,6 +128,16 @@ void ThreadWorld::crash(util::ProcessId p) {
   proc.cv.notify_one();
 }
 
+void ThreadWorld::post(util::ProcessId p, std::function<void()> fn) {
+  auto& proc = *procs_.at(p);
+  {
+    std::lock_guard lock(proc.mu);
+    if (proc.crashed || proc.stopping) return;
+    proc.tasks.push_back(std::move(fn));
+  }
+  proc.cv.notify_one();
+}
+
 void ThreadWorld::stop() {
   for (auto& proc : procs_) {
     {
@@ -154,6 +169,15 @@ void ThreadWorld::thread_main(util::ProcessId p) {
         [](const TimerEntry& a, const TimerEntry& b) {
           return a.deadline < b.deadline;
         });
+
+    if (!proc.tasks.empty()) {
+      auto task = std::move(proc.tasks.front());
+      proc.tasks.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
 
     if (!proc.inbox.empty()) {
       auto [from, msg] = std::move(proc.inbox.front());

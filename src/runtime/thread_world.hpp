@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -38,6 +39,12 @@ class ThreadWorld {
 
   /// Crash-stops process p: its thread exits, its mailbox discards input.
   void crash(util::ProcessId p);
+
+  /// Runs `fn` on process p's thread, serialized with its protocol
+  /// callbacks. This is the only safe way for external threads (tests,
+  /// drivers) to invoke protocol methods — calling them directly races with
+  /// the process thread. No-op if p is crashed or the world is stopping.
+  void post(util::ProcessId p, std::function<void()> fn);
 
   /// Stops all threads and joins them. Idempotent; also run by ~ThreadWorld.
   void stop();

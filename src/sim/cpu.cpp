@@ -4,7 +4,7 @@
 
 namespace modcast::sim {
 
-void Cpu::execute(util::Duration cost, std::function<void()> fn) {
+void Cpu::execute(util::Duration cost, WorkFn fn) {
   if (halted_) return;
   queue_.push_back(Work{std::max<util::Duration>(cost, 0), std::move(fn)});
   if (!running_) start_next();
@@ -16,14 +16,17 @@ void Cpu::start_next() {
     return;
   }
   running_ = true;
-  Work work = std::move(queue_.front());
-  queue_.pop_front();
 
   const util::TimePoint start = std::max(free_at_, sim_->now());
-  free_at_ = start + work.cost;
-  busy_time_ += work.cost;
-  sim_->at(free_at_, [this, fn = std::move(work.fn)] {
-    if (!halted_) fn();  // fn may call charge(), extending free_at_
+  free_at_ = start + queue_.front().cost;
+  busy_time_ += queue_.front().cost;
+  // The work item stays queued until it fires so the scheduled closure only
+  // captures `this` (stays within the event queue's inline storage).
+  sim_->at(free_at_, [this] {
+    if (halted_) return;  // halt() cleared the queue
+    Work work = std::move(queue_.front());
+    queue_.pop_front();
+    work.fn();  // fn may call charge(), extending free_at_
     start_next();
   });
 }

@@ -11,22 +11,24 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "sim/simulator.hpp"
+#include "util/inline_fn.hpp"
 #include "util/time.hpp"
 
 namespace modcast::sim {
 
 class Cpu {
  public:
+  using WorkFn = util::InlineFn<64>;
+
   explicit Cpu(Simulator& sim) : sim_(&sim) {}
 
   /// Enqueues work costing `cost` CPU time. `fn` runs at the instant the
   /// work *completes* (it starts when the CPU frees up). FIFO per CPU.
   /// A handler may itself call charge() to extend its own busy window; the
   /// next queued item starts only after all charged work.
-  void execute(util::Duration cost, std::function<void()> fn);
+  void execute(util::Duration cost, WorkFn fn);
 
   /// Charges cost to the CPU without running anything new — used by a
   /// handler that is already running to account for extra work it performs
@@ -54,7 +56,7 @@ class Cpu {
  private:
   struct Work {
     util::Duration cost;
-    std::function<void()> fn;
+    WorkFn fn;
   };
 
   void start_next();

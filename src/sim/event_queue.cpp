@@ -1,55 +1,115 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace modcast::sim {
 
-EventId EventQueue::schedule(util::TimePoint when, std::function<void()> fn) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slots_[s].next_free;
+    slots_[s].next_free = kNil;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.generation;  // invalidates any outstanding EventId / heap entry
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId EventQueue::schedule(util::TimePoint when, Callback fn) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  const EventId id = (static_cast<EventId>(s.generation) << 32) |
+                     static_cast<EventId>(slot + 1);
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, s.generation});
+  sift_up(heap_.size() - 1);
   ++live_;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  // Lazily deleted: the entry stays in the heap but is skipped on pop.
-  if (id == 0 || id >= next_id_) return;
-  if (cancelled_.insert(id).second) {
-    if (live_ > 0) --live_;
+  const std::uint32_t lo = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (lo == 0) return;
+  const std::uint32_t slot = lo - 1;
+  if (slot >= slots_.size()) return;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slots_[slot].generation != gen) return;  // already fired or cancelled
+  release_slot(slot);
+  --live_;
+  // The heap entry stays; drop_stale()/pop() skip it via the generation
+  // mismatch.
+}
+
+void EventQueue::drop_stale() const {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].generation != heap_.front().gen) {
+    heap_pop_top();
   }
 }
-
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
-}
-
-std::size_t EventQueue::size() const { return live_; }
 
 util::TimePoint EventQueue::next_time() const {
-  drop_cancelled();
+  drop_stale();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
-std::function<void()> EventQueue::pop(util::TimePoint* when) {
-  drop_cancelled();
+EventQueue::Callback EventQueue::pop(util::TimePoint* when) {
+  drop_stale();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is about to be discarded, so
-  // moving the closure out is safe.
-  auto& top = const_cast<Entry&>(heap_.top());
+  const HeapEntry top = heap_.front();
   if (when != nullptr) *when = top.when;
-  auto fn = std::move(top.fn);
-  heap_.pop();
-  if (live_ > 0) --live_;
+  Callback fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);
+  heap_pop_top();
+  --live_;
   return fn;
+}
+
+void EventQueue::sift_up(std::size_t i) const {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (earlier(e, heap_[parent])) {
+      heap_[i] = heap_[parent];
+      i = parent;
+    } else {
+      break;
+    }
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::heap_pop_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 }  // namespace modcast::sim

@@ -4,58 +4,83 @@
 // the same instant fire in the order they were scheduled. This makes every
 // simulation a pure function of its inputs and seed, which the property
 // tests rely on for replayability.
+//
+// Implementation: callbacks live in a pooled slot array (InlineFn keeps
+// small captures allocation-free); the heap itself is a flat 4-ary heap of
+// 24-byte entries referencing slots by index. Cancellation is O(1): each
+// slot carries a generation counter, and an EventId embeds the generation
+// it was issued under, so cancel just bumps the generation and the stale
+// heap entry is skipped when it surfaces.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_fn.hpp"
 #include "util/time.hpp"
 
 namespace modcast::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event. Encodes (generation << 32) |
+/// (slot + 1); never 0, so 0 is usable as "no event".
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
+  /// Callables up to 64 capture bytes are stored inline in the slot pool.
+  using Callback = util::InlineFn<64>;
+
   /// Schedules `fn` at absolute time `when`. Returns a handle usable with
   /// cancel().
-  EventId schedule(util::TimePoint when, std::function<void()> fn);
+  EventId schedule(util::TimePoint when, Callback fn);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event is
   /// a no-op (timers race with their own firing; that must be benign).
   void cancel(EventId id);
 
-  bool empty() const;
-  std::size_t size() const;
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
   util::TimePoint next_time() const;
 
   /// Removes and returns the earliest event's action. Precondition: !empty().
-  std::function<void()> pop(util::TimePoint* when);
+  Callback pop(util::TimePoint* when);
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNil;
+  };
+  struct HeapEntry {
     util::TimePoint when;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  void drop_cancelled() const;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  // Heap maintenance is const so next_time() can purge stale (cancelled)
+  // tops; only the mutable heap vector changes, never the slot pool.
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void heap_pop_top() const;
+  void drop_stale() const;
+
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNil;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
 

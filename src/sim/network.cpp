@@ -12,6 +12,8 @@ Network::Network(Simulator& sim, std::size_t n, NetworkConfig config)
       endpoints_(n),
       crashed_(n, false),
       nic_free_at_(n, 0),
+      last_arrival_(n * n, 0),
+      blocked_(n * n, 0),
       per_sender_(n) {}
 
 void Network::set_endpoint(util::ProcessId p, DeliverFn fn) {
@@ -26,7 +28,7 @@ util::Duration Network::tx_time(std::size_t payload_bytes) const {
 }
 
 void Network::send(util::ProcessId from, util::ProcessId to,
-                   util::Bytes msg) {
+                   util::Payload msg) {
   assert(from < endpoints_.size() && to < endpoints_.size());
   if (crashed_[from]) return;
 
@@ -50,8 +52,7 @@ void Network::send(util::ProcessId from, util::ProcessId to,
   per_sender_[from].wire_bytes += size + config_.frame_overhead_bytes;
 
   if (drop_ && drop_(from, to)) return;
-  auto blocked_it = blocked_.find({from, to});
-  if (blocked_it != blocked_.end() && blocked_it->second) return;
+  if (blocked_[pair_index(from, to)]) return;
 
   // Egress serialization: the sender's NIC transmits one frame at a time.
   const util::TimePoint depart =
@@ -64,7 +65,7 @@ void Network::send(util::ProcessId from, util::ProcessId to,
       extra_delay_(from, to, size), 0);
 
   // FIFO per ordered pair (TCP channel semantics).
-  auto& last = last_arrival_[{from, to}];
+  util::TimePoint& last = last_arrival_[pair_index(from, to)];
   arrival = std::max(arrival, last + 1);
   last = arrival;
 
@@ -84,7 +85,7 @@ std::size_t Network::crashed_count() const {
 
 void Network::set_link_blocked(util::ProcessId from, util::ProcessId to,
                                bool blocked) {
-  blocked_[{from, to}] = blocked;
+  blocked_[pair_index(from, to)] = blocked ? 1 : 0;
 }
 
 void Network::reset_counters() {

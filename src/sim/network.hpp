@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -55,7 +54,8 @@ struct NetCounters {
 
 class Network {
  public:
-  using DeliverFn = std::function<void(util::ProcessId from, util::Bytes msg)>;
+  using DeliverFn =
+      std::function<void(util::ProcessId from, util::Payload msg)>;
   using DelayInjector = std::function<util::Duration(
       util::ProcessId from, util::ProcessId to, std::size_t size)>;
   using DropFn = std::function<bool(util::ProcessId from, util::ProcessId to)>;
@@ -70,8 +70,9 @@ class Network {
 
   /// Sends msg from -> to over the quasi-reliable channel. Self-sends are
   /// delivered locally (small loopback delay) and are NOT counted as network
-  /// traffic, matching the paper's message counting.
-  void send(util::ProcessId from, util::ProcessId to, util::Bytes msg);
+  /// traffic, matching the paper's message counting. Payload is ref-counted:
+  /// an n-way fan-out shares one buffer across all in-flight copies.
+  void send(util::ProcessId from, util::ProcessId to, util::Payload msg);
 
   // --- Fault injection -----------------------------------------------------
 
@@ -108,10 +109,17 @@ class Network {
   NetworkConfig config_;
   std::vector<DeliverFn> endpoints_;
   std::vector<bool> crashed_;
-  std::vector<util::TimePoint> nic_free_at_;        // per-sender egress
-  std::map<std::pair<util::ProcessId, util::ProcessId>, util::TimePoint>
-      last_arrival_;                                // FIFO per ordered pair
-  std::map<std::pair<util::ProcessId, util::ProcessId>, bool> blocked_;
+  std::size_t pair_index(util::ProcessId from, util::ProcessId to) const {
+    return static_cast<std::size_t>(from) * endpoints_.size() + to;
+  }
+
+  std::vector<util::TimePoint> nic_free_at_;  // per-sender egress
+  // Flat n*n tables indexed by pair_index(): FIFO high-water mark per
+  // ordered pair, and the directed-link block flags. A zeroed entry means
+  // "never used" / "not blocked", matching the defaults the old std::map
+  // versions materialized on first touch.
+  std::vector<util::TimePoint> last_arrival_;
+  std::vector<std::uint8_t> blocked_;
   DropFn drop_;
   DelayInjector extra_delay_;
   NetCounters total_;

@@ -1,16 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 namespace modcast::sim {
-
-EventId Simulator::at(util::TimePoint when, std::function<void()> fn) {
-  return queue_.schedule(std::max(when, now_), std::move(fn));
-}
-
-EventId Simulator::after(util::Duration delay, std::function<void()> fn) {
-  return at(now_ + std::max<util::Duration>(delay, 0), std::move(fn));
-}
 
 std::size_t Simulator::run(std::size_t max_events) {
   stopped_ = false;

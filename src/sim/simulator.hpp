@@ -1,7 +1,7 @@
 // The simulation scheduler: a virtual clock driving an event queue.
 #pragma once
 
-#include <functional>
+#include <algorithm>
 
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
@@ -15,10 +15,15 @@ class Simulator {
   util::TimePoint now() const { return now_; }
 
   /// Schedules at an absolute virtual time (clamped to now).
-  EventId at(util::TimePoint when, std::function<void()> fn);
+  EventId at(util::TimePoint when, EventQueue::Callback fn) {
+    return queue_.schedule(std::max(when, now_), std::move(fn));
+  }
 
   /// Schedules `delay` after now (negative delays are clamped to 0).
-  EventId after(util::Duration delay, std::function<void()> fn);
+  EventId after(util::Duration delay, EventQueue::Callback fn) {
+    return queue_.schedule(now_ + std::max<util::Duration>(delay, 0),
+                           std::move(fn));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
 

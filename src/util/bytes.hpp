@@ -9,10 +9,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace modcast::util {
@@ -26,6 +28,91 @@ using Bytes = std::vector<std::uint8_t>;
 class DecodeError : public std::runtime_error {
  public:
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Immutable ref-counted byte buffer with an (offset, length) view.
+///
+/// An n-way broadcast serializes its message once into a Payload and hands
+/// the same buffer to every destination — copying a Payload copies a
+/// shared_ptr and two integers, never the bytes. Consumers that need to
+/// strip a header take a slice() (same buffer, narrower view); consumers
+/// that need mutable bytes call to_bytes(), which is the copy-on-write
+/// escape hatch. The refcount is atomic, so Payloads may cross threads
+/// (ThreadWorld hands them between process threads).
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Implicit by design: `send(to, writer.take())` keeps working at every
+  /// call site that used to pass Bytes.
+  Payload(Bytes bytes)
+      : buf_(std::make_shared<Bytes>(std::move(bytes))),
+        offset_(0),
+        length_(buf_->size()) {}
+
+  std::size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  const std::uint8_t* data() const {
+    return buf_ ? buf_->data() + offset_ : nullptr;
+  }
+
+  std::span<const std::uint8_t> span() const {
+    return buf_ ? std::span<const std::uint8_t>(buf_->data() + offset_,
+                                                length_)
+                : std::span<const std::uint8_t>();
+  }
+
+  std::uint8_t operator[](std::size_t i) const { return (*buf_)[offset_ + i]; }
+
+  /// Narrower view of the same buffer; no bytes are copied.
+  Payload slice(std::size_t off) const { return slice(off, length_ - off); }
+  Payload slice(std::size_t off, std::size_t len) const {
+    Payload p;
+    if (off > length_ || len > length_ - off) {
+      throw DecodeError("Payload::slice out of range");
+    }
+    p.buf_ = buf_;
+    p.offset_ = offset_ + off;
+    p.length_ = len;
+    return p;
+  }
+
+  /// Materializes an owned copy of the viewed bytes (copy-on-write: the
+  /// shared buffer itself is never mutated).
+  Bytes to_bytes() const {
+    return buf_ ? Bytes(buf_->begin() + static_cast<std::ptrdiff_t>(offset_),
+                        buf_->begin() +
+                            static_cast<std::ptrdiff_t>(offset_ + length_))
+                : Bytes{};
+  }
+
+  /// Like to_bytes(), but steals the buffer without copying when this view
+  /// is the sole owner of the whole buffer.
+  Bytes detach() {
+    if (buf_ && buf_.use_count() == 1 && offset_ == 0 &&
+        length_ == buf_->size()) {
+      Bytes out = std::move(*buf_);
+      buf_.reset();
+      offset_ = length_ = 0;
+      return out;
+    }
+    Bytes out = to_bytes();
+    buf_.reset();
+    offset_ = length_ = 0;
+    return out;
+  }
+
+  // --- introspection (tests assert the zero-copy properties) ---------------
+  bool shares_buffer(const Payload& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+  long use_count() const { return buf_ ? buf_.use_count() : 0; }
+
+ private:
+  std::shared_ptr<Bytes> buf_;
+  std::size_t offset_ = 0;
+  std::size_t length_ = 0;
 };
 
 /// Appends primitive values to a growing byte buffer.
@@ -58,6 +145,9 @@ class ByteWriter {
   void raw(const Bytes& data) {
     raw(std::span<const std::uint8_t>(data.data(), data.size()));
   }
+  void raw(const Payload& data) { raw(data.span()); }
+
+  void blob(const Payload& data) { blob(data.span()); }
 
   std::size_t size() const { return buf_.size(); }
   bool empty() const { return buf_.empty(); }
@@ -76,6 +166,7 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
   explicit ByteReader(const Bytes& data)
       : data_(std::span<const std::uint8_t>(data.data(), data.size())) {}
+  explicit ByteReader(const Payload& data) : data_(data.span()) {}
 
   std::uint8_t u8();
   std::uint16_t u16();

@@ -1,0 +1,115 @@
+// Move-only callable with small-buffer optimization.
+//
+// The simulator schedules millions of events per run; std::function heap-
+// allocates for captures beyond ~2 pointers, which dominates the hot path.
+// InlineFn stores callables up to `Capacity` bytes inline (no allocation)
+// and falls back to the heap only for oversized captures. Move-only, so
+// captures may hold move-only state (unlike std::function pre-C++23).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace modcast::util {
+
+template <std::size_t Capacity = 64>
+class InlineFn {
+ public:
+  InlineFn() noexcept : ops_(nullptr) {}
+  InlineFn(std::nullptr_t) noexcept : ops_(nullptr) {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() {
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    // Move-construct into dst from src, destroying src. Used instead of a
+    // separate move+destroy pair so the heap case is a pointer copy.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* buf) { (**std::launder(reinterpret_cast<Fn**>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(buf));
+      },
+  };
+
+  const Ops* ops_;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace modcast::util

@@ -207,17 +207,12 @@ RunResult run_once(std::size_t n, const core::StackOptions& stack,
   return result;
 }
 
-AggregateResult run_experiment(std::size_t n, const core::StackOptions& stack,
-                               const WorkloadConfig& workload,
-                               std::size_t seeds, std::uint64_t base_seed,
-                               const runtime::CpuCostModel& cpu,
-                               const sim::NetworkConfig& net) {
+AggregateResult aggregate_runs(const std::vector<RunResult>& runs) {
   util::StreamingStats latency;
   util::StreamingStats throughput;
   AggregateResult agg;
   double batch = 0, util_cpu = 0, mpa = 0, bpa = 0, mpc = 0, bpc = 0;
-  for (std::size_t s = 0; s < seeds; ++s) {
-    RunResult r = run_once(n, stack, workload, base_seed + s * 7919, cpu, net);
+  for (const RunResult& r : runs) {
     if (r.latencies_ms.count() > 0) latency.add(r.latencies_ms.mean());
     throughput.add(r.throughput);
     batch += r.avg_batch;
@@ -227,7 +222,7 @@ AggregateResult run_experiment(std::size_t n, const core::StackOptions& stack,
     mpc += r.msgs_per_consensus;
     bpc += r.bytes_per_consensus;
   }
-  const double k = static_cast<double>(seeds);
+  const double k = runs.empty() ? 1.0 : static_cast<double>(runs.size());
   agg.latency_ms = util::confidence_95(latency);
   agg.throughput = util::confidence_95(throughput);
   agg.avg_batch = batch / k;
@@ -237,6 +232,19 @@ AggregateResult run_experiment(std::size_t n, const core::StackOptions& stack,
   agg.msgs_per_consensus = mpc / k;
   agg.bytes_per_consensus = bpc / k;
   return agg;
+}
+
+AggregateResult run_experiment(std::size_t n, const core::StackOptions& stack,
+                               const WorkloadConfig& workload,
+                               std::size_t seeds, std::uint64_t base_seed,
+                               const runtime::CpuCostModel& cpu,
+                               const sim::NetworkConfig& net) {
+  std::vector<RunResult> runs;
+  runs.reserve(seeds);
+  for (std::size_t s = 0; s < seeds; ++s) {
+    runs.push_back(run_once(n, stack, workload, base_seed + s * 7919, cpu, net));
+  }
+  return aggregate_runs(runs);
 }
 
 }  // namespace modcast::workload

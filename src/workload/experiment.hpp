@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/sim_group.hpp"
 #include "util/stats.hpp"
@@ -65,6 +66,10 @@ struct AggregateResult {
   double msgs_per_consensus = 0.0;
   double bytes_per_consensus = 0.0;
 };
+
+/// Aggregates per-seed runs into CIs and means. Deterministic in the run
+/// order given (seed order), independent of how the runs were produced.
+AggregateResult aggregate_runs(const std::vector<RunResult>& runs);
 
 AggregateResult run_experiment(std::size_t n, const core::StackOptions& stack,
                                const WorkloadConfig& workload,

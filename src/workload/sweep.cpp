@@ -1,0 +1,59 @@
+#include "workload/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace modcast::workload {
+
+std::vector<AggregateResult> run_sweep(const std::vector<SweepPoint>& points,
+                                       std::size_t jobs) {
+  // Flatten to (point, seed) tasks with preassigned result slots: workers
+  // race only on the task index, never on the results.
+  struct Task {
+    std::size_t point;
+    std::size_t seed;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::vector<RunResult>> runs(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    runs[i].resize(points[i].seeds);
+    for (std::size_t s = 0; s < points[i].seeds; ++s) {
+      tasks.push_back(Task{i, s});
+    }
+  }
+
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min(jobs, tasks.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) return;
+      const SweepPoint& pt = points[tasks[t].point];
+      runs[tasks[t].point][tasks[t].seed] =
+          run_once(pt.n, pt.stack, pt.workload,
+                   pt.base_seed + tasks[t].seed * 7919, pt.cpu, pt.net);
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  std::vector<AggregateResult> out;
+  out.reserve(points.size());
+  for (const auto& point_runs : runs) {
+    out.push_back(aggregate_runs(point_runs));
+  }
+  return out;
+}
+
+}  // namespace modcast::workload

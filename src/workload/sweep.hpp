@@ -1,0 +1,38 @@
+// Parallel sweep runner for the figure experiments.
+//
+// A figure is a grid of independent simulation points (curve × x-value ×
+// seed); each point owns its own SimWorld, so the sweep is embarrassingly
+// parallel. run_sweep farms the (point, seed) executions across a thread
+// pool and aggregates per point in seed order, so the results are
+// byte-identical regardless of the job count — including jobs = 1, which is
+// exactly the sequential run_experiment loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/experiment.hpp"
+
+namespace modcast::workload {
+
+/// One experiment point of a sweep: everything run_experiment takes.
+struct SweepPoint {
+  std::size_t n = 3;
+  core::StackOptions stack;
+  WorkloadConfig workload;
+  std::size_t seeds = 3;
+  std::uint64_t base_seed = 1;
+  runtime::CpuCostModel cpu;
+  sim::NetworkConfig net;
+};
+
+/// Runs every point (seeds runs each) and returns one aggregate per point,
+/// in input order. jobs = 0 picks the hardware concurrency; jobs = 1 runs
+/// sequentially. Each (point, seed) execution is an isolated SimWorld; the
+/// per-seed RNG streams use the same base_seed + s*7919 derivation as
+/// run_experiment, so a sweep result equals the corresponding sequence of
+/// run_experiment calls.
+std::vector<AggregateResult> run_sweep(const std::vector<SweepPoint>& points,
+                                       std::size_t jobs = 0);
+
+}  // namespace modcast::workload

@@ -53,7 +53,7 @@ struct Node {
   void record_all() {
     stack.bind(framework::kEvRdeliver, [this](const framework::Event& ev) {
       auto& body = ev.as<framework::RdeliverBody>();
-      rdelivered.emplace_back(body.origin, body.payload);
+      rdelivered.emplace_back(body.origin, body.payload.to_bytes());
     });
     stack.bind(framework::kEvDecide, [this](const framework::Event& ev) {
       auto& body = ev.as<framework::ConsensusValueBody>();

@@ -133,5 +133,69 @@ TEST(Bytes, TakeResetsWriter) {
   EXPECT_TRUE(w.empty());
 }
 
+TEST(Payload, CopySharesBufferWithoutCopyingBytes) {
+  Payload p{Bytes(1024, 0x5a)};
+  EXPECT_EQ(p.use_count(), 1);
+  // n-way fan-out: every copy is a view of the same buffer.
+  Payload a = p;
+  Payload b = p;
+  EXPECT_TRUE(a.shares_buffer(p));
+  EXPECT_TRUE(b.shares_buffer(a));
+  EXPECT_EQ(p.use_count(), 3);
+  EXPECT_EQ(a.data(), p.data());
+  EXPECT_EQ(a.size(), 1024u);
+}
+
+TEST(Payload, SliceIsZeroCopyView) {
+  ByteWriter w;
+  w.u8(7);          // header a consumer strips
+  w.u32(0x1234);
+  Payload whole{w.take()};
+  Payload body = whole.slice(1);
+  EXPECT_TRUE(body.shares_buffer(whole));
+  EXPECT_EQ(body.size(), 4u);
+  EXPECT_EQ(body.data(), whole.data() + 1);
+  ByteReader r(body);
+  EXPECT_EQ(r.u32(), 0x1234u);
+
+  Payload mid = whole.slice(1, 2);
+  EXPECT_EQ(mid.size(), 2u);
+  EXPECT_TRUE(mid.shares_buffer(whole));
+}
+
+TEST(Payload, SliceOutOfRangeThrows) {
+  Payload p{Bytes(4, 0)};
+  EXPECT_THROW(p.slice(5), DecodeError);
+  EXPECT_THROW(p.slice(2, 3), DecodeError);
+  EXPECT_NO_THROW(p.slice(4));  // empty tail view is fine
+}
+
+TEST(Payload, ToBytesCopiesAndLeavesSharedBufferIntact) {
+  Payload p{Bytes{1, 2, 3, 4}};
+  Payload view = p.slice(1, 2);
+  Bytes owned = view.to_bytes();  // the copy-on-write escape hatch
+  EXPECT_EQ(owned, (Bytes{2, 3}));
+  owned[0] = 99;  // mutating the copy must not touch the shared buffer
+  EXPECT_EQ(p[1], 2);
+  EXPECT_EQ(view.to_bytes(), (Bytes{2, 3}));
+}
+
+TEST(Payload, DetachStealsWhenSoleOwner) {
+  Payload p{Bytes(256, 0xcd)};
+  const std::uint8_t* before = p.data();
+  Bytes out = p.detach();  // sole owner, full view: no copy
+  EXPECT_EQ(out.data(), before);
+  EXPECT_EQ(out.size(), 256u);
+  EXPECT_TRUE(p.empty());
+
+  // Shared: detach must copy, leaving the other view valid.
+  Payload q{Bytes(8, 0x11)};
+  Payload r = q;
+  Bytes copied = r.detach();
+  EXPECT_EQ(copied.size(), 8u);
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(q[0], 0x11);
+}
+
 }  // namespace
 }  // namespace modcast::util

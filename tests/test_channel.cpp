@@ -20,8 +20,8 @@ using util::seconds;
 /// Records in-order deliveries from the channel.
 class Sink : public runtime::Protocol {
  public:
-  void on_message(ProcessId from, Bytes msg) override {
-    received.emplace_back(from, std::move(msg));
+  void on_message(ProcessId from, util::Payload msg) override {
+    received.emplace_back(from, msg.to_bytes());
   }
   std::vector<std::pair<ProcessId, Bytes>> received;
 };

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 namespace modcast::sim {
@@ -77,6 +78,72 @@ TEST(EventQueue, CancelHeadAdvancesNextTime) {
   q.schedule(20, [] {});
   q.cancel(first);
   EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseIsNoOp) {
+  // The pooled implementation recycles slots; an EventId from a popped event
+  // must never cancel a later event that happens to reuse the same slot.
+  EventQueue q;
+  bool first_ran = false;
+  EventId stale = q.schedule(1, [&] { first_ran = true; });
+  q.pop(nullptr)();
+  EXPECT_TRUE(first_ran);
+
+  bool second_ran = false;
+  q.schedule(2, [&] { second_ran = true; });  // reuses the freed slot
+  q.cancel(stale);                            // generation mismatch: no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueue, CancelledSlotReuseKeepsOrdering) {
+  // Heavy schedule/cancel churn forces slot recycling while live entries
+  // remain in the heap; execution order must stay (time, insertion).
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int round = 0; round < 100; ++round) {
+    q.schedule(1000 + round, [&order, round] { order.push_back(round); });
+    for (int j = 0; j < 3; ++j) {
+      doomed.push_back(q.schedule(500 + round, [&order] {
+        order.push_back(-1);  // must never run
+      }));
+    }
+    for (EventId id : doomed) q.cancel(id);
+    doomed.clear();
+  }
+  EXPECT_EQ(q.size(), 100u);
+  while (!q.empty()) q.pop(nullptr)();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RescheduleAfterCancelGetsFreshId) {
+  EventQueue q;
+  EventId a = q.schedule(10, [] {});
+  q.cancel(a);
+  EventId b = q.schedule(10, [] {});
+  EXPECT_NE(a, b);  // same slot, different generation
+  q.cancel(a);      // stale: still a no-op
+  EXPECT_EQ(q.size(), 1u);
+  bool ran = false;
+  q.schedule(20, [&] { ran = true; });
+  q.cancel(b);
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, LargeCallablesFallBackToHeap) {
+  // Callables above the inline capacity must still work (heap fallback).
+  EventQueue q;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, above inline storage
+  big[0] = 7;
+  big[31] = 9;
+  std::uint64_t got = 0;
+  q.schedule(1, [big, &got] { got = big[0] + big[31]; });
+  q.pop(nullptr)();
+  EXPECT_EQ(got, 16u);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

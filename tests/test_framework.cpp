@@ -58,8 +58,8 @@ TEST(Stack, WireRoundTripAddsAndStripsHeader) {
   Harness h;
   std::vector<std::pair<util::ProcessId, util::Bytes>> got;
   h.stacks[1]->bind_wire(kTestModule,
-                         [&](util::ProcessId from, util::Bytes payload) {
-                           got.emplace_back(from, std::move(payload));
+                         [&](util::ProcessId from, util::Payload payload) {
+                           got.emplace_back(from, payload.to_bytes());
                          });
   util::Bytes payload = {9, 8, 7};
   h.world->simulator().at(0, [&] {
@@ -76,8 +76,8 @@ TEST(Stack, WireRoundTripAddsAndStripsHeader) {
 TEST(Stack, WireDemuxSelectsModule) {
   Harness h;
   int a = 0, b = 0;
-  h.stacks[1]->bind_wire(1, [&](util::ProcessId, util::Bytes) { ++a; });
-  h.stacks[1]->bind_wire(2, [&](util::ProcessId, util::Bytes) { ++b; });
+  h.stacks[1]->bind_wire(1, [&](util::ProcessId, util::Payload) { ++a; });
+  h.stacks[1]->bind_wire(2, [&](util::ProcessId, util::Payload) { ++b; });
   h.world->simulator().at(0, [&] {
     h.stacks[0]->send_wire(1, 1, util::Bytes{1});
     h.stacks[0]->send_wire(1, 2, util::Bytes{1});
@@ -102,7 +102,7 @@ TEST(Stack, SendToOthersSkipsSelf) {
   int received[4] = {0, 0, 0, 0};
   for (util::ProcessId p = 0; p < 4; ++p) {
     h.stacks[p]->bind_wire(kTestModule,
-                           [&received, p](util::ProcessId, util::Bytes) {
+                           [&received, p](util::ProcessId, util::Payload) {
                              ++received[p];
                            });
   }
@@ -118,7 +118,7 @@ TEST(Stack, SendToOthersSkipsSelf) {
 
 TEST(Stack, PerModuleWireCounters) {
   Harness h;
-  h.stacks[1]->bind_wire(7, [](util::ProcessId, util::Bytes) {});
+  h.stacks[1]->bind_wire(7, [](util::ProcessId, util::Payload) {});
   h.world->simulator().at(0, [&] {
     h.stacks[0]->send_wire(1, 7, util::Bytes(10, 0));
     h.stacks[0]->send_wire(1, 7, util::Bytes(20, 0));

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -29,7 +31,7 @@ struct Fixture {
   explicit Fixture(std::size_t n, NetworkConfig cfg = {})
       : net(sim, n, cfg) {
     for (ProcessId p = 0; p < n; ++p) {
-      net.set_endpoint(p, [this, p](ProcessId from, Bytes msg) {
+      net.set_endpoint(p, [this, p](ProcessId from, util::Payload msg) {
         deliveries.push_back(Delivery{p, from, msg.size(), sim.now()});
       });
     }
@@ -86,6 +88,60 @@ TEST(Network, FifoPerOrderedPair) {
       EXPECT_GT(f.deliveries[i].at, f.deliveries[i - 1].at);
     }
   }
+}
+
+TEST(Network, FifoHoldsAcrossAllPairsInterleaved) {
+  // Exercises the flat n×n per-pair state: every ordered pair streams
+  // sequence-numbered messages (encoded in the size), interleaved across
+  // senders, and each pair must still deliver in send order.
+  constexpr std::size_t kN = 4;
+  constexpr std::size_t kPerPair = 20;
+  Fixture f(kN);
+  f.sim.at(0, [&] {
+    for (std::size_t i = 0; i < kPerPair; ++i) {
+      for (ProcessId from = 0; from < kN; ++from) {
+        for (ProcessId to = 0; to < kN; ++to) {
+          if (from == to) continue;
+          f.net.send(from, to, Bytes(i + 1, 0));
+        }
+      }
+    }
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), kPerPair * kN * (kN - 1));
+  std::map<std::pair<ProcessId, ProcessId>, std::size_t> next_size;
+  std::map<std::pair<ProcessId, ProcessId>, util::TimePoint> last_at;
+  for (const Delivery& d : f.deliveries) {
+    const auto pair = std::make_pair(d.from, d.to);
+    EXPECT_EQ(d.size, ++next_size[pair]) << "pair " << d.from << "->" << d.to;
+    EXPECT_GE(d.at, last_at[pair]);
+    last_at[pair] = d.at;
+  }
+}
+
+TEST(Network, FanOutSharesOnePayloadBuffer) {
+  // An n-way broadcast of one Payload must not copy the bytes per
+  // destination: every delivered view aliases the sender's buffer.
+  constexpr std::size_t kN = 5;
+  Simulator sim;
+  Network net(sim, kN);
+  const util::Payload payload{Bytes(4096, 0x7e)};
+  std::vector<util::Payload> received;
+  for (ProcessId p = 0; p < kN; ++p) {
+    net.set_endpoint(p, [&received](ProcessId, util::Payload msg) {
+      received.push_back(std::move(msg));
+    });
+  }
+  sim.at(0, [&] {
+    for (ProcessId q = 1; q < kN; ++q) net.send(0, q, payload);
+  });
+  sim.run();
+  ASSERT_EQ(received.size(), kN - 1);
+  for (const auto& r : received) {
+    EXPECT_TRUE(r.shares_buffer(payload));
+    EXPECT_EQ(r.data(), payload.data());
+  }
+  EXPECT_EQ(payload.use_count(), 1 + static_cast<long>(received.size()));
 }
 
 TEST(Network, SelfSendLoopsBackUncounted) {

@@ -19,8 +19,8 @@ class Recorder : public Protocol {
   explicit Recorder(Runtime& rt) : rt_(&rt) {}
 
   void start() override { started_at_ = rt_->now(); }
-  void on_message(ProcessId from, Bytes msg) override {
-    received_.emplace_back(from, std::move(msg));
+  void on_message(ProcessId from, util::Payload msg) override {
+    received_.emplace_back(from, msg.to_bytes());
     if (echo_ && from != rt_->self()) {
       rt_->send(from, Bytes{0xEC});
     }
@@ -176,7 +176,7 @@ TEST(SimWorld, ChargeCpuDelaysSubsequentHandlers) {
   class Charger : public Protocol {
    public:
     explicit Charger(Runtime& rt) : rt_(&rt) {}
-    void on_message(ProcessId, Bytes) override {
+    void on_message(ProcessId, util::Payload) override {
       handled_at_.push_back(rt_->now());
       if (handled_at_.size() == 1) rt_->charge_cpu(milliseconds(1));
     }

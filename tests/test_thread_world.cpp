@@ -39,7 +39,7 @@ class PingPong : public Protocol {
   void start() override {
     if (rt_->self() == 0) rt_->send(1, Bytes{1});
   }
-  void on_message(ProcessId from, Bytes msg) override {
+  void on_message(ProcessId from, util::Payload msg) override {
     count_.fetch_add(1);
     if (msg[0] < 10) {
       Bytes next = {static_cast<std::uint8_t>(msg[0] + 1)};
@@ -72,7 +72,7 @@ TEST(ThreadWorld, TimersFire) {
         rt_->cancel_timer(cancelled_id_);
       });
     }
-    void on_message(ProcessId, Bytes) override {}
+    void on_message(ProcessId, util::Payload) override {}
     Runtime* rt_;
     TimerId cancelled_id_ = 0;
     std::atomic<int> fired_{0};
@@ -122,9 +122,14 @@ TEST_P(ThreadStacks, AtomicBroadcastTotalOrderOnThreads) {
   }
   world.start();
 
+  // abcast() must run on the owning process thread — calling it from the
+  // test thread would race with the protocol's message/timer callbacks
+  // (this was the source of this test's historical flakiness).
   for (int i = 0; i < kPerProcess; ++i) {
     for (ProcessId p = 0; p < kN; ++p) {
-      procs[p]->abcast(Bytes(64, static_cast<std::uint8_t>(p)));
+      world.post(p, [&procs, p] {
+        procs[p]->abcast(Bytes(64, static_cast<std::uint8_t>(p)));
+      });
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
