@@ -1,0 +1,115 @@
+// Fault-injection campaign: the standard scenario battery over both stacks.
+//
+// Every scenario runs under load with the FaultInjector armed and the
+// online SafetyChecker attached; after the drain the checker's finalize
+// verdict (uniform agreement/integrity/total order/validity) decides
+// pass/fail. The process exits nonzero if ANY scenario reports a safety
+// violation, which is what makes this binary a CI gate.
+//
+// Flags: --n=3 --load=600 --size=1024 --jobs=N --quick --json=<path|none>
+//        --verbose (print per-scenario fault logs and violation details)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workload/campaign.hpp"
+
+using namespace modcast;
+using namespace modcast::bench;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {"n", "load", "size", "jobs", "quick", "json", "verbose",
+                     "run_for_ms", "drain_ms", "seed"});
+  const bool quick = flags.get_bool("quick", false);
+  const bool verbose = flags.get_bool("verbose", false);
+
+  workload::CampaignConfig cfg;
+  cfg.n = static_cast<std::size_t>(flags.get_int("n", 3));
+  cfg.offered_load = flags.get_double("load", 600.0);
+  cfg.message_size = static_cast<std::size_t>(flags.get_int("size", 1024));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.run_for = util::milliseconds(
+      flags.get_int("run_for_ms", quick ? 1800 : 2500));
+  cfg.drain = util::milliseconds(flags.get_int("drain_ms", quick ? 2500 : 4000));
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+
+  const auto schedules = workload::standard_fault_schedules(cfg.n);
+  const std::vector<core::StackKind> kinds = {core::StackKind::kMonolithic,
+                                              core::StackKind::kModular};
+  const auto results = workload::run_campaign(cfg, schedules, kinds, jobs);
+
+  std::printf("== Fault-injection campaign ==\n");
+  std::printf("n = %zu, load = %.0f msgs/s, size = %zu B, seed = %llu; "
+              "%zu scenarios x %zu stacks\n\n",
+              cfg.n, cfg.offered_load, cfg.message_size,
+              static_cast<unsigned long long>(cfg.seed), schedules.size(),
+              kinds.size());
+  std::printf("%-24s | %-10s | %-7s | %9s | %9s | %10s | %6s\n", "scenario",
+              "stack", "verdict", "committed", "recov ms", "max gap ms",
+              "stalls");
+  std::printf("-------------------------+------------+---------+-----------+"
+              "-----------+------------+-------\n");
+
+  std::size_t failures = 0;
+  std::string json_rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (!r.safety_ok) ++failures;
+    std::printf("%-24s | %-10s | %-7s | %9llu | %9.1f | %10.1f | %6zu\n",
+                r.name.c_str(), core::to_string(r.kind),
+                r.safety_ok ? "ok" : "VIOLATE",
+                static_cast<unsigned long long>(r.committed), r.recovery_ms,
+                r.max_gap_ms, r.stalls.size());
+    if (verbose || !r.safety_ok) {
+      for (const auto& ev : r.fault_log) {
+        std::printf("    fault: %s\n", ev.c_str());
+      }
+      for (const auto& v : r.violations) {
+        std::printf("    VIOLATION: %s\n", v.c_str());
+      }
+      if (verbose) {
+        for (const auto& s : r.stalls) std::printf("    stall: %s\n", s.c_str());
+      }
+    }
+    std::fflush(stdout);
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"scenario\": \"%s\", \"stack\": \"%s\", \"ok\": %s, "
+        "\"committed\": %llu, \"deliveries_checked\": %llu, "
+        "\"violations\": %zu, \"stalls\": %zu, \"recovery_ms\": %.3f, "
+        "\"max_gap_ms\": %.3f, \"pre_fault_latency_ms\": %.3f, "
+        "\"post_fault_latency_ms\": %.3f}",
+        json_escape(r.name).c_str(), core::to_string(r.kind),
+        r.safety_ok ? "true" : "false",
+        static_cast<unsigned long long>(r.committed),
+        static_cast<unsigned long long>(r.deliveries_checked),
+        r.violations.size(), r.stalls.size(), r.recovery_ms, r.max_gap_ms,
+        r.pre_fault_latency_ms.count() ? r.pre_fault_latency_ms.mean() : 0.0,
+        r.post_fault_latency_ms.count() ? r.post_fault_latency_ms.mean()
+                                        : 0.0);
+    if (i > 0) json_rows += ", ";
+    json_rows += buf;
+  }
+
+  if (flags.get("json", "") != "none") {
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "\"n\": %zu, \"load\": %.0f, \"seed\": %llu, ", cfg.n,
+                  cfg.offered_load, static_cast<unsigned long long>(cfg.seed));
+    write_json_result("campaign",
+                      std::string(head) + "\"scenarios\": [" + json_rows + "]",
+                      flags.get("json", ""));
+  }
+
+  std::printf("\n%zu/%zu scenario runs passed the atomic broadcast contract\n",
+              results.size() - failures, results.size());
+  if (failures > 0) {
+    std::printf("CAMPAIGN FAILED: %zu run(s) violated safety\n", failures);
+    return 1;
+  }
+  return 0;
+}

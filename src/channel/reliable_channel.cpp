@@ -1,5 +1,6 @@
 #include "channel/reliable_channel.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/bytes.hpp"
@@ -105,13 +106,28 @@ void ReliableChannel::on_message(util::ProcessId from, util::Payload raw) {
 
 void ReliableChannel::process_ack(util::ProcessId from, std::uint32_t ack) {
   Peer& peer = peers_.at(from);
+  bool progress = false;
   while (!peer.unacked.empty() && peer.unacked.begin()->first < ack) {
     peer.unacked.erase(peer.unacked.begin());
+    progress = true;
   }
-  if (peer.unacked.empty() &&
-      peer.rto_timer != runtime::kInvalidTimer) {
-    rt_->cancel_timer(peer.rto_timer);
-    peer.rto_timer = runtime::kInvalidTimer;
+  if (peer.unacked.empty()) {
+    peer.rto_backoff = 1;
+    if (peer.rto_timer != runtime::kInvalidTimer) {
+      rt_->cancel_timer(peer.rto_timer);
+      peer.rto_timer = runtime::kInvalidTimer;
+    }
+    return;
+  }
+  if (progress) {
+    // Ack clock: the pipe is moving again, so drop any backed-off timeout
+    // and restart from the base RTO measured from this ack.
+    peer.rto_backoff = 1;
+    if (peer.rto_timer != runtime::kInvalidTimer) {
+      rt_->cancel_timer(peer.rto_timer);
+      peer.rto_timer = runtime::kInvalidTimer;
+    }
+    arm_rto(from);
   }
 }
 
@@ -140,19 +156,23 @@ void ReliableChannel::send_ack_now(util::ProcessId to) {
 void ReliableChannel::arm_rto(util::ProcessId to) {
   Peer& peer = peers_.at(to);
   if (peer.rto_timer != runtime::kInvalidTimer) return;
-  peer.rto_timer =
-      rt_->set_timer(config_.retransmit_timeout, [this, to] {
-        Peer& peer = peers_.at(to);
-        peer.rto_timer = runtime::kInvalidTimer;
-        if (peer.unacked.empty()) return;
-        std::size_t burst = 0;
-        for (const auto& [seq, payload] : peer.unacked) {
-          if (++burst > config_.retransmit_burst) break;
-          transmit(to, seq, payload);
-          ++stats_.retransmissions;
-        }
-        arm_rto(to);
-      });
+  const util::Duration delay = config_.retransmit_timeout * peer.rto_backoff;
+  peer.rto_timer = rt_->set_timer(delay, [this, to] {
+    Peer& peer = peers_.at(to);
+    peer.rto_timer = runtime::kInvalidTimer;
+    if (peer.unacked.empty()) return;
+    std::size_t burst = 0;
+    for (const auto& [seq, payload] : peer.unacked) {
+      if (++burst > config_.retransmit_burst) break;
+      transmit(to, seq, payload);
+      ++stats_.retransmissions;
+    }
+    // The burst drew no ack inside the timeout: back off before injecting
+    // another copy, or retransmissions outpace the round trip and collapse
+    // the path under duplicates.
+    peer.rto_backoff = std::min(peer.rto_backoff * 2, config_.rto_backoff_cap);
+    arm_rto(to);
+  });
 }
 
 }  // namespace modcast::channel

@@ -29,6 +29,14 @@ struct ChannelConfig {
   util::Duration ack_delay = util::milliseconds(2);
   /// At most this many segments retransmitted per timeout (burst limit).
   std::size_t retransmit_burst = 64;
+  /// Exponential RTO backoff cap (multiplier on retransmit_timeout). An
+  /// unacknowledged burst doubles the next timeout up to this factor; any
+  /// ack that makes progress resets it and restarts the base timeout
+  /// (ack-clocking). Without backoff a long outage ends in congestion
+  /// collapse: bursts re-enter the pipe faster than the round trip, the NIC
+  /// queue fills with stale copies, and the one segment the receiver needs
+  /// sits behind seconds of duplicates.
+  std::uint32_t rto_backoff_cap = 8;
 };
 
 struct ChannelStats {
@@ -51,6 +59,19 @@ class ReliableChannel final : public runtime::Protocol {
 
   const ChannelStats& stats() const { return stats_; }
 
+  /// Segments sent to `to` not yet cumulatively acked (test/diagnostics).
+  std::size_t unacked_to(util::ProcessId to) const {
+    return peers_.at(to).unacked.size();
+  }
+  /// Next in-order segment expected from `from` (test/diagnostics).
+  std::uint32_t expected_from(util::ProcessId from) const {
+    return peers_.at(from).expected;
+  }
+  /// Early segments from `from` buffered for reordering (test/diagnostics).
+  std::size_t reorder_buffered(util::ProcessId from) const {
+    return peers_.at(from).reorder.size();
+  }
+
   // runtime::Protocol
   void start() override;
   void on_message(util::ProcessId from, util::Payload raw) override;
@@ -61,6 +82,7 @@ class ReliableChannel final : public runtime::Protocol {
     std::uint32_t next_seq = 0;
     std::map<std::uint32_t, util::Payload> unacked;  ///< seq → payload
     runtime::TimerId rto_timer = runtime::kInvalidTimer;
+    std::uint32_t rto_backoff = 1;  ///< current timeout multiplier
     // Receiver side.
     std::uint32_t expected = 0;  ///< all seq < expected delivered
     std::map<std::uint32_t, util::Payload> reorder;  ///< buffered early segs

@@ -332,6 +332,7 @@ void ChandraTouegConsensus::decide_local(std::uint64_t k, util::Bytes value) {
     Instance& inst = it->second;
     inst.decided = true;
     stats_.max_round = std::max(stats_.max_round, inst.round);
+    if (inst.round > 1) ++stats_.late_decisions;
     if (inst.nudge_timer != runtime::kInvalidTimer) {
       stack_->rt().cancel_timer(inst.nudge_timer);
       inst.nudge_timer = runtime::kInvalidTimer;

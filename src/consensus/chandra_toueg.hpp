@@ -57,6 +57,8 @@ struct ConsensusConfig {
 struct ConsensusStats {
   std::uint64_t decided = 0;
   std::uint32_t max_round = 0;   ///< highest round that decided any instance
+  std::uint64_t late_decisions = 0;  ///< instances decided in a round >= 2
+                                     ///< (crash/suspicion recovery work)
   std::uint64_t pulls_sent = 0;
   std::uint64_t nudges_sent = 0;
   std::uint64_t nacks_sent = 0;

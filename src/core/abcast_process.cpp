@@ -92,6 +92,7 @@ ProcessStats AbcastProcess::stats() const {
     s.messages_in_decisions = m.messages_in_decisions;
     s.admitted = m.admitted;
     s.max_round = consensus_->stats().max_round;
+    s.late_decisions = consensus_->stats().late_decisions;
   } else {
     const auto& m = monolithic_->stats();
     s.delivered = m.delivered;
@@ -99,6 +100,7 @@ ProcessStats AbcastProcess::stats() const {
     s.messages_in_decisions = m.messages_in_decisions;
     s.admitted = m.admitted;
     s.max_round = m.max_round;
+    s.late_decisions = m.late_decisions;
   }
   return s;
 }

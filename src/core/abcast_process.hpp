@@ -82,6 +82,7 @@ struct ProcessStats {
   std::uint64_t messages_in_decisions = 0;
   std::uint64_t admitted = 0;
   std::uint32_t max_round = 0;
+  std::uint64_t late_decisions = 0;  ///< instances decided in rounds >= 2
 
   double avg_batch() const {
     return instances_completed == 0

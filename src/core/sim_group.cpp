@@ -14,11 +14,12 @@ SimGroup::SimGroup(SimGroupConfig config) : config_(config) {
   world_ = std::make_unique<runtime::SimWorld>(wc);
 
   if (config.drop_probability > 0.0) {
-    drop_rng_ = util::Rng(config.seed ^ 0xd20bULL);
-    world_->network().set_drop(
-        [this](util::ProcessId, util::ProcessId) {
-          return drop_rng_.chance(config_.drop_probability);
-        });
+    world_->network().set_drop_probability(config.drop_probability);
+  }
+
+  if (config.safety_check) {
+    checker_ = std::make_unique<faults::SafetyChecker>(config.n,
+                                                       config.safety);
   }
 
   deliveries_.resize(config.n);
@@ -34,15 +35,23 @@ SimGroup::SimGroup(SimGroupConfig config) : config_(config) {
       rt = channeled_rts_.back().get();
     }
     auto proc = std::make_unique<AbcastProcess>(*rt, config.stack);
-    if (config.record_deliveries) {
-      proc->set_deliver_handler([this, p](util::ProcessId origin,
-                                          std::uint64_t seq,
-                                          const util::Bytes& payload) {
+    // The group owns both stack callbacks: it feeds the checker, the
+    // delivery log, and whatever observers are registered, in that order.
+    proc->set_deliver_handler([this, p](util::ProcessId origin,
+                                        std::uint64_t seq,
+                                        const util::Bytes& payload) {
+      if (checker_) checker_->on_deliver(p, origin, seq, world_->now());
+      if (config_.record_deliveries) {
         deliveries_[p].push_back(
             DeliveryRecord{origin, seq, world_->now(), payload.size()});
         if (config_.record_payloads) payloads_[p].push_back(payload);
-      });
-    }
+      }
+      if (deliver_observer_) deliver_observer_(p, origin, seq, payload);
+    });
+    proc->set_admit_handler([this, p](std::uint64_t seq) {
+      if (checker_) checker_->on_admit(p, seq, world_->now());
+      if (admit_observer_) admit_observer_(p, seq);
+    });
     if (config.reliable_channels) {
       channels_[p]->set_upper(&proc->protocol());
       world_->attach(p, channels_[p].get());
@@ -51,6 +60,37 @@ SimGroup::SimGroup(SimGroupConfig config) : config_(config) {
     }
     procs_.push_back(std::move(proc));
   }
+}
+
+void SimGroup::start() {
+  world_->start();
+  if (checker_) arm_watchdog();
+}
+
+void SimGroup::crash(util::ProcessId p) {
+  if (checker_ && !world_->crashed(p)) checker_->on_crash(p, world_->now());
+  world_->crash(p);
+}
+
+void SimGroup::crash_at(util::ProcessId p, util::TimePoint when) {
+  // Routed through SimGroup::crash (not SimWorld::crash_at) so the safety
+  // checker hears about it.
+  world_->simulator().at(when, [this, p] {
+    if (!crashed(p)) crash(p);
+  });
+}
+
+void SimGroup::arm_watchdog() {
+  // Recurring read-only probe; the simulated system never quiesces anyway
+  // (heartbeats re-arm forever), so an immortal repeating event is fine.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick] {
+    checker_->on_watchdog_tick(world_->now());
+    world_->simulator().after(config_.safety.watchdog_period,
+                              [tick] { (*tick)(); });
+  };
+  world_->simulator().after(config_.safety.watchdog_period,
+                            [tick] { (*tick)(); });
 }
 
 ContractViolation check_total_order(const SimGroup& group) {

@@ -11,6 +11,7 @@
 
 #include "channel/reliable_channel.hpp"
 #include "core/abcast_process.hpp"
+#include "faults/safety_checker.hpp"
 #include "runtime/sim_world.hpp"
 #include "util/rng.hpp"
 
@@ -45,18 +46,36 @@ struct SimGroupConfig {
   double drop_probability = 0.0;
   bool reliable_channels = false;
   channel::ChannelConfig channel;
+
+  /// Attaches an online faults::SafetyChecker observing every admit,
+  /// adeliver, and crash across the group, plus a periodic liveness
+  /// watchdog. Query it via safety_report() after the run.
+  bool safety_check = false;
+  faults::SafetyConfig safety;
 };
 
 class SimGroup {
  public:
+  /// Observers ride on the group-owned per-process handlers, after
+  /// recording and safety checking. Installing an observer does not disturb
+  /// the checker or the delivery log — unlike calling
+  /// process(p).set_deliver_handler directly, which takes over the raw
+  /// stack callback and silences both.
+  using DeliverObserver =
+      std::function<void(util::ProcessId p, util::ProcessId origin,
+                         std::uint64_t seq, const util::Bytes& payload)>;
+  using AdmitObserver =
+      std::function<void(util::ProcessId p, std::uint64_t seq)>;
+
   explicit SimGroup(SimGroupConfig config);
 
   std::size_t size() const { return procs_.size(); }
   runtime::SimWorld& world() { return *world_; }
   AbcastProcess& process(util::ProcessId p) { return *procs_.at(p); }
 
-  /// Starts all processes (call once before running).
-  void start() { world_->start(); }
+  /// Starts all processes (call once before running). Also arms the safety
+  /// watchdog when safety checking is configured.
+  void start();
   void run_until(util::TimePoint deadline) { world_->run_until(deadline); }
   /// Runs until quiescence (bounded by max_events); returns events executed.
   std::size_t run(std::size_t max_events = SIZE_MAX) {
@@ -64,11 +83,25 @@ class SimGroup {
   }
   util::TimePoint now() const { return world_->now(); }
 
-  void crash(util::ProcessId p) { world_->crash(p); }
-  void crash_at(util::ProcessId p, util::TimePoint when) {
-    world_->crash_at(p, when);
-  }
+  /// Crash-stops p now and informs the safety checker (if attached).
+  void crash(util::ProcessId p);
+  void crash_at(util::ProcessId p, util::TimePoint when);
   bool crashed(util::ProcessId p) const { return world_->crashed(p); }
+
+  void set_deliver_observer(DeliverObserver fn) {
+    deliver_observer_ = std::move(fn);
+  }
+  void set_admit_observer(AdmitObserver fn) {
+    admit_observer_ = std::move(fn);
+  }
+
+  /// The online checker (null unless safety_check was configured).
+  faults::SafetyChecker* checker() { return checker_.get(); }
+  /// Finalized contract verdict (end-of-run agreement check included).
+  /// Requires safety_check.
+  faults::SafetyReport safety_report() {
+    return checker_->finalize(world_->now());
+  }
 
   /// The adeliver log of process p, in delivery order.
   const std::vector<DeliveryRecord>& deliveries(util::ProcessId p) const {
@@ -87,6 +120,8 @@ class SimGroup {
   }
 
  private:
+  void arm_watchdog();
+
   SimGroupConfig config_;
   std::unique_ptr<runtime::SimWorld> world_;
   std::vector<std::unique_ptr<channel::ReliableChannel>> channels_;
@@ -94,7 +129,9 @@ class SimGroup {
   std::vector<std::unique_ptr<AbcastProcess>> procs_;
   std::vector<std::vector<DeliveryRecord>> deliveries_;
   std::vector<std::vector<util::Bytes>> payloads_;
-  util::Rng drop_rng_{0};
+  std::unique_ptr<faults::SafetyChecker> checker_;
+  DeliverObserver deliver_observer_;
+  AdmitObserver admit_observer_;
 };
 
 // ---------------------------------------------------------------------------

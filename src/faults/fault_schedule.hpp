@@ -1,0 +1,107 @@
+// Declarative, seed-deterministic fault schedules.
+//
+// A FaultSchedule is a replayable spec of everything that goes wrong in one
+// run: crash-stops (at a virtual time, or when a process completes its k-th
+// consensus instance), directed-link partitions with heal times, windows of
+// probabilistic message loss, and failure-detector suspicion churn. The
+// schedule itself is pure data — the FaultInjector (fault_injector.hpp)
+// arms it onto a live deployment, driving the existing Network
+// crash/drop/block hooks and HeartbeatFd::force_suspect. Randomness in drop
+// windows draws from the network's own seeded RNG stream, so a (schedule,
+// seed) pair replays byte-identically, including under parallel sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace modcast::faults {
+
+/// Wildcard for "any process" filters in drop windows and suspicion bursts.
+constexpr util::ProcessId kAnyProcess = util::kInvalidProcess;
+
+/// Crash-stop process p at virtual time `at` (permanent, §2.1).
+struct CrashAt {
+  util::ProcessId p = 0;
+  util::TimePoint at = 0;
+};
+
+/// Crash-stop process p the moment it has completed `instance` consensus
+/// instances — "crash on round k", pinning the crash to a protocol state
+/// rather than a wall-clock instant, so it hits the same protocol moment at
+/// every load level.
+struct CrashOnInstance {
+  util::ProcessId p = 0;
+  std::uint64_t instance = 1;
+};
+
+/// Blocks every directed link between `island` and the rest of the group
+/// from `at` until `heal` (0 = never). Messages sent across the cut while
+/// blocked are lost — pair with reliable channels to preserve the protocols'
+/// quasi-reliable channel assumption across the heal.
+struct Partition {
+  std::vector<util::ProcessId> island;
+  util::TimePoint at = 0;
+  util::TimePoint heal = 0;
+};
+
+/// Uniform probabilistic loss inside [from_t, to_t), optionally restricted
+/// to one sender and/or one receiver.
+struct DropWindow {
+  util::TimePoint from_t = 0;
+  util::TimePoint to_t = 0;
+  double probability = 0.0;
+  util::ProcessId only_from = kAnyProcess;
+  util::ProcessId only_to = kAnyProcess;
+};
+
+/// Failure-detector churn: `accuser` (or every alive process, for
+/// kAnyProcess) wrongly suspects `victim` at `at`, repeated `repeat` times
+/// every `gap`. Each wrong suspicion clears when the victim's next
+/// heartbeat arrives, exercising the suspect -> restore -> suspect path the
+/// consensus round-change logic must survive.
+struct SuspicionBurst {
+  util::TimePoint at = 0;
+  util::ProcessId accuser = kAnyProcess;
+  util::ProcessId victim = 0;
+  std::size_t repeat = 1;
+  util::Duration gap = util::milliseconds(100);
+};
+
+struct FaultSchedule {
+  std::string name;
+  std::vector<CrashAt> crashes;
+  std::vector<CrashOnInstance> instance_crashes;
+  std::vector<Partition> partitions;
+  std::vector<DropWindow> drop_windows;
+  std::vector<SuspicionBurst> suspicions;
+
+  bool empty() const {
+    return crashes.empty() && instance_crashes.empty() &&
+           partitions.empty() && drop_windows.empty() && suspicions.empty();
+  }
+
+  /// Number of distinct processes this schedule crash-stops. Must stay
+  /// <= floor((n-1)/2) for the protocols' guarantees to apply.
+  std::size_t crash_count() const;
+
+  /// True when the schedule can lose messages outright (drops, partitions):
+  /// such runs need the reliable-channel layer underneath the stacks to
+  /// restore the quasi-reliable channels the protocols assume.
+  bool needs_reliable_channels() const {
+    return !drop_windows.empty() || !partitions.empty();
+  }
+
+  /// Earliest virtual time at which this schedule first disturbs the run
+  /// (instance-pinned crashes are unknowable in advance and ignored);
+  /// returns 0 for an empty schedule.
+  util::TimePoint first_fault_at() const;
+
+  /// Compact human-readable description, e.g. "crash p0@300ms, churn x4".
+  std::string summary() const;
+};
+
+}  // namespace modcast::faults

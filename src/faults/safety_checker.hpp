@@ -1,0 +1,133 @@
+// Online safety checker for the atomic broadcast contract.
+//
+// The invariant checkers in core/sim_group.hpp audit complete delivery logs
+// after a run ends; this checker asserts the same contract *online*, on
+// every adeliver as it happens, so a violation is caught at the instant (and
+// virtual time) it occurs — which is what makes long fault-injection
+// campaigns tractable: no multi-gigabyte logs, no post-mortem diffing.
+//
+// Checked continuously, per delivery:
+//   * uniform integrity   — each process delivers each (origin, seq) at most
+//                           once, and only messages that exist;
+//   * validity/no-creation — only messages actually admitted by their origin
+//                           are delivered (requires admit observation);
+//   * uniform total order — the i-th delivery of every process equals the
+//                           i-th entry of the global committed order (the
+//                           order is *defined* by the first process to reach
+//                           index i, including processes that later crash —
+//                           this is what makes the checked order uniform).
+//
+// Checked at finalize():
+//   * uniform agreement   — every correct process delivered the entire
+//                           committed order (everything delivered anywhere,
+//                           even by a process that crashed right after).
+//
+// A liveness watchdog runs alongside: it flags (separately from safety —
+// stalls are reported, not counted as violations, because an adversarial
+// schedule may legitimately suppress progress) windows of virtual time in
+// which admitted messages from correct processes exist but nothing commits.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace modcast::faults {
+
+struct SafetyConfig {
+  /// Watchdog: no commit for this long while correct-process messages are
+  /// outstanding => stall flag.
+  util::Duration stall_timeout = util::seconds(4);
+  /// How often the embedding runtime probes on_watchdog_tick.
+  util::Duration watchdog_period = util::milliseconds(500);
+  /// Cap on recorded violation strings (campaigns keep running after the
+  /// first violation; the cap bounds memory on a badly broken build).
+  std::size_t max_violations = 64;
+};
+
+/// Immutable view of a finished (or in-progress) check.
+struct SafetyReport {
+  bool ok = true;                        ///< no safety violations
+  std::vector<std::string> violations;   ///< safety failures (order matters)
+  std::vector<std::string> stalls;       ///< liveness flags, not violations
+  std::uint64_t deliveries_checked = 0;
+  std::uint64_t committed = 0;           ///< length of the global order
+  util::TimePoint last_commit_at = 0;    ///< virtual time of newest commit
+};
+
+class SafetyChecker {
+ public:
+  SafetyChecker(std::size_t n, SafetyConfig config = {});
+
+  // --- Observation hooks (call in virtual-time order) ----------------------
+
+  /// Message (origin, seq) passed flow control at its origin (the paper's
+  /// t0). seqs are expected to be assigned densely from 0 per origin.
+  void on_admit(util::ProcessId origin, std::uint64_t seq, util::TimePoint at);
+
+  /// Process p adelivered (origin, seq).
+  void on_deliver(util::ProcessId p, util::ProcessId origin, std::uint64_t seq,
+                  util::TimePoint at);
+
+  /// Process p crash-stopped.
+  void on_crash(util::ProcessId p, util::TimePoint at);
+
+  /// Periodic liveness probe (wire to a recurring simulator event).
+  void on_watchdog_tick(util::TimePoint now);
+
+  // --- Verdict --------------------------------------------------------------
+
+  /// Runs the end-of-run checks (uniform agreement among correct processes)
+  /// and returns the full report. Idempotent; call after the run ends.
+  SafetyReport finalize(util::TimePoint now);
+
+  /// Report without the end-of-run agreement check (mid-run inspection).
+  SafetyReport report() const;
+
+  bool ok() const { return violations_.empty(); }
+  std::uint64_t committed() const {
+    return static_cast<std::uint64_t>(order_.size());
+  }
+  util::TimePoint last_commit_at() const { return last_commit_at_; }
+
+  /// First delivery time of the k-th committed message (k < committed()).
+  util::TimePoint commit_time(std::uint64_t k) const {
+    return commit_times_[k];
+  }
+
+ private:
+  struct MsgId {
+    util::ProcessId origin;
+    std::uint64_t seq;
+    bool operator==(const MsgId& o) const {
+      return origin == o.origin && seq == o.seq;
+    }
+  };
+
+  void violation(std::string detail);
+  bool outstanding_correct_work() const;
+
+  std::size_t n_;
+  SafetyConfig config_;
+  std::vector<MsgId> order_;               ///< global committed order
+  std::vector<util::TimePoint> commit_times_;
+  std::vector<std::size_t> next_index_;    ///< per-process position in order_
+  std::vector<std::uint64_t> admitted_;    ///< per-origin admitted count
+  /// Messages present in order_ (duplicate detection for the leader path).
+  std::set<std::pair<util::ProcessId, std::uint64_t>> committed_set_;
+  std::vector<bool> crashed_;
+  std::vector<std::string> violations_;
+  std::vector<std::string> stalls_;
+  std::uint64_t deliveries_checked_ = 0;
+  util::TimePoint last_commit_at_ = 0;
+  util::TimePoint last_progress_at_ = 0;   ///< admit/commit/crash, whichever
+  bool stalled_now_ = false;               ///< inside a flagged stall window
+  bool admits_observed_ = false;           ///< validity check armed
+};
+
+}  // namespace modcast::faults

@@ -581,6 +581,7 @@ void MonolithicAbcast::decide(std::uint64_t k, std::uint32_t round,
   decisions_[k] = batch;
   decision_rounds_[k] = round;
   stats_.max_round = std::max(stats_.max_round, round);
+  if (round > 1) ++stats_.late_decisions;
 
   auto it = instances_.find(k);
   if (it != instances_.end()) {
@@ -667,6 +668,19 @@ void MonolithicAbcast::recheck_active_estimates() {
   inst.has_estimate = true;
   inst.estimate_sent.erase(inst.round);
   send_estimate(inst, inst.round, c);
+}
+
+bool MonolithicAbcast::reply_decision_if_known(util::ProcessId to,
+                                               std::uint64_t k) {
+  auto it = decisions_.find(k);
+  if (it == decisions_.end()) return false;
+  util::ByteWriter w(it->second.size() + 16);
+  w.u8(kFullReply);
+  w.u64(k);
+  w.u32(decision_rounds_[k]);
+  w.raw(it->second);
+  stack_->send_wire(to, framework::kModMonolithic, w.take());
+  return true;
 }
 
 void MonolithicAbcast::start_pull(Instance& inst) {
@@ -768,7 +782,10 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
       util::Bytes est = r.blob();
       util::Bytes piggy(r.rest().begin(), r.rest().end());
       for (auto& m : abcast::decode_batch(piggy)) pool_add(std::move(m));
-      if (decisions_.count(k) != 0 || k < next_decide_) break;
+      if (decisions_.count(k) != 0 || k < next_decide_) {
+        reply_decision_if_known(from, k);
+        break;
+      }
       Instance& inst = instance(k);
       inst.estimates[round][from] = {ts, std::move(est)};
       check_estimates(inst, round);
@@ -798,7 +815,10 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
     case kNack: {
       const std::uint64_t k = r.u64();
       const std::uint32_t round = r.u32();
-      if (decisions_.count(k) != 0) break;
+      if (decisions_.count(k) != 0) {
+        reply_decision_if_known(from, k);
+        break;
+      }
       Instance& inst = instance(k);
       if (coordinator(round) == stack_->self() && !inst.decided &&
           inst.round == round) {
@@ -808,15 +828,7 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
     }
     case kPull: {
       const std::uint64_t k = r.u64();
-      auto it = decisions_.find(k);
-      if (it != decisions_.end()) {
-        util::ByteWriter w(it->second.size() + 16);
-        w.u8(kFullReply);
-        w.u64(k);
-        w.u32(decision_rounds_[k]);
-        w.raw(it->second);
-        stack_->send_wire(from, framework::kModMonolithic, w.take());
-      }
+      reply_decision_if_known(from, k);
       break;
     }
     case kFullReply: {
@@ -829,17 +841,8 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
     case kSolicit: {
       const std::uint64_t k = r.u64();
       const std::uint32_t round = r.u32();
-      auto dit = decisions_.find(k);
-      if (dit != decisions_.end()) {
-        // The solicitor lags behind a decided instance: hand it the value.
-        util::ByteWriter w(dit->second.size() + 16);
-        w.u8(kFullReply);
-        w.u64(k);
-        w.u32(decision_rounds_[k]);
-        w.raw(dit->second);
-        stack_->send_wire(from, framework::kModMonolithic, w.take());
-        break;
-      }
+      // The solicitor lags behind a decided instance: hand it the value.
+      if (reply_decision_if_known(from, k)) break;
       if (k < next_decide_) break;
       Instance& inst = instance(k);
       if (inst.decided) break;

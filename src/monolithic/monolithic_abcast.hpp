@@ -83,6 +83,7 @@ struct MonolithicStats {
   std::uint64_t piggybacked_messages = 0;///< app messages that rode on acks
   std::uint64_t retransmissions = 0;
   std::uint32_t max_round = 0;
+  std::uint64_t late_decisions = 0;  ///< instances decided in a round >= 2
   std::uint64_t pulls_sent = 0;
 };
 
@@ -177,6 +178,13 @@ class MonolithicAbcast final : public framework::Module {
 
   // --- decisions ---
   void resolve_decision_tag(std::uint64_t k, std::uint32_t round);
+  /// Replies kFullReply(k) to `to` when instance k is decided and retained.
+  /// Answers pulls, and any recovery-round message (estimate/nack) arriving
+  /// for an instance we already decided: the sender is lagging — e.g. it
+  /// just healed from a partition — and hands it the value directly, so a
+  /// laggard catches up at one instance per round trip instead of one per
+  /// liveness timeout.
+  bool reply_decision_if_known(util::ProcessId to, std::uint64_t k);
   void decide(std::uint64_t k, std::uint32_t round, util::Bytes batch);
   void apply_ready_decisions();
   void start_pull(Instance& inst);

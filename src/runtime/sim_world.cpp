@@ -58,7 +58,9 @@ class SimWorld::ProcRuntime final : public Runtime {
 SimWorld::SimWorld(SimWorldConfig config)
     : config_(config),
       sim_(),
-      net_(sim_, config.n, config.net),
+      // The network draws its own RNG stream off the world seed so drop
+      // decisions replay identically however many worlds run in parallel.
+      net_(sim_, config.n, config.net, config.seed ^ 0x6e6574647270ULL),
       protocols_(config.n, nullptr),
       root_rng_(config.seed) {
   cpus_.reserve(config_.n);

@@ -6,7 +6,8 @@
 
 namespace modcast::sim {
 
-Network::Network(Simulator& sim, std::size_t n, NetworkConfig config)
+Network::Network(Simulator& sim, std::size_t n, NetworkConfig config,
+                 std::uint64_t seed)
     : sim_(&sim),
       config_(config),
       endpoints_(n),
@@ -14,7 +15,18 @@ Network::Network(Simulator& sim, std::size_t n, NetworkConfig config)
       nic_free_at_(n, 0),
       last_arrival_(n * n, 0),
       blocked_(n * n, 0),
+      drop_rng_(seed),
       per_sender_(n) {}
+
+void Network::set_drop_probability(double p) {
+  if (p <= 0.0) {
+    drop_ = nullptr;
+    return;
+  }
+  drop_ = [this, p](util::ProcessId, util::ProcessId) {
+    return drop_rng_.chance(p);
+  };
+}
 
 void Network::set_endpoint(util::ProcessId p, DeliverFn fn) {
   endpoints_.at(p) = std::move(fn);

@@ -20,6 +20,7 @@
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace modcast::sim {
@@ -60,7 +61,10 @@ class Network {
       util::ProcessId from, util::ProcessId to, std::size_t size)>;
   using DropFn = std::function<bool(util::ProcessId from, util::ProcessId to)>;
 
-  Network(Simulator& sim, std::size_t n, NetworkConfig config = {});
+  /// `seed` feeds the network's own RNG stream (drop decisions); worlds pass
+  /// a value derived from their root seed so lossy runs replay exactly.
+  Network(Simulator& sim, std::size_t n, NetworkConfig config = {},
+          std::uint64_t seed = 0x6e657477726bULL);
 
   std::size_t size() const { return endpoints_.size(); }
 
@@ -83,8 +87,18 @@ class Network {
   std::size_t crashed_count() const;
 
   /// Per-message drop test (simulates loss; violates quasi-reliability, used
-  /// only by stress tests). Return true to drop.
+  /// only by stress tests). Return true to drop. Probabilistic predicates
+  /// should draw from drop_rng() — not caller-owned state — so lossy runs
+  /// replay byte-identically regardless of sweep parallelism.
   void set_drop(DropFn fn) { drop_ = std::move(fn); }
+
+  /// Installs an unconditional uniform drop predicate driven by the
+  /// network's seeded RNG stream. p <= 0 clears it.
+  void set_drop_probability(double p);
+
+  /// The network's own deterministic RNG stream, consumed only by drop
+  /// decisions. Custom DropFns (e.g. windowed loss) should draw from it.
+  util::Rng& drop_rng() { return drop_rng_; }
 
   /// Blocks/unblocks the directed link from -> to (partition injection).
   void set_link_blocked(util::ProcessId from, util::ProcessId to,
@@ -121,6 +135,7 @@ class Network {
   std::vector<util::TimePoint> last_arrival_;
   std::vector<std::uint8_t> blocked_;
   DropFn drop_;
+  util::Rng drop_rng_;
   DelayInjector extra_delay_;
   NetCounters total_;
   std::vector<NetCounters> per_sender_;

@@ -1,0 +1,92 @@
+// Fault-injection campaign runner.
+//
+// A campaign point is (fault schedule × stack kind): one seeded execution
+// under load with the FaultInjector armed and the online SafetyChecker
+// attached. Unlike the good-run experiment harness (experiment.hpp), a
+// campaign run stops its generators and then *drains* — it keeps simulating
+// with no new abcasts until in-flight messages settle — so the checker's
+// end-of-run uniform-agreement finalize() is meaningful, not an artifact of
+// chopping the run mid-flight.
+//
+// Per scenario the runner reports the contract verdict plus recovery-side
+// metrics: early latency before/after the first fault, the time from the
+// first fault to the next commit anywhere (recovery latency), and the
+// largest inter-commit gap of the whole run.
+//
+// standard_fault_schedules(n) is the curated scenario battery the campaign
+// CLI and CI smoke job sweep over both stacks: coordinator and
+// non-coordinator crashes (time- and instance-pinned), up to f staggered
+// crashes, healing partitions (minority side and coordinator side), global
+// and coordinator-directed loss windows, and FD suspicion churn — every
+// fault class the schedule language can express.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/abcast_process.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/safety_checker.hpp"
+#include "util/stats.hpp"
+
+namespace modcast::workload {
+
+struct CampaignConfig {
+  std::size_t n = 3;
+  double offered_load = 600.0;      ///< msgs/s across the group
+  std::size_t message_size = 1024;  ///< bytes per abcast payload
+  /// Generators attempt abcasts in [0, run_for); the run then drains for
+  /// `drain` more virtual time before the checker's finalize verdict.
+  util::Duration run_for = util::milliseconds(2500);
+  util::Duration drain = util::seconds(4);
+  std::uint64_t seed = 1;
+  std::size_t block_threshold = 4;
+  faults::SafetyConfig safety;
+  /// Stack template; kind is overridden per point. Defaults to a fast
+  /// failure detector so crash scenarios recover within the run.
+  core::StackOptions stack = campaign_stack_defaults();
+
+  static core::StackOptions campaign_stack_defaults();
+};
+
+/// One (schedule × stack) execution's verdict and metrics.
+struct ScenarioResult {
+  std::string name;
+  std::string summary;  ///< human-readable schedule description
+  core::StackKind kind = core::StackKind::kModular;
+  std::size_t n = 0;
+
+  bool safety_ok = false;
+  std::vector<std::string> violations;
+  std::vector<std::string> stalls;
+  std::uint64_t committed = 0;           ///< global order length
+  std::uint64_t deliveries_checked = 0;
+  std::vector<std::string> fault_log;    ///< "t=412ms crash p0" per fired fault
+
+  util::TimePoint first_fault_at = 0;    ///< 0 = fault-free run
+  double recovery_ms = 0.0;   ///< first fault -> next commit anywhere
+  double max_gap_ms = 0.0;    ///< largest inter-commit gap, whole run
+  util::SampleSet pre_fault_latency_ms;   ///< admitted before the first fault
+  util::SampleSet post_fault_latency_ms;  ///< admitted at/after it
+};
+
+/// The standard scenario battery for an n-process group (first entry is the
+/// fault-free control). Every schedule keeps crash_count() <= f.
+std::vector<faults::FaultSchedule> standard_fault_schedules(std::size_t n);
+
+/// Runs one (schedule, stack kind) point.
+ScenarioResult run_scenario(const CampaignConfig& config,
+                            const faults::FaultSchedule& schedule,
+                            core::StackKind kind);
+
+/// Runs every (schedule × kind) pair on `jobs` threads (0 = hardware
+/// concurrency). Results come back in input order — schedules major, kinds
+/// minor — and are byte-identical for any job count: each point runs in a
+/// private SimWorld with a preassigned result slot.
+std::vector<ScenarioResult> run_campaign(
+    const CampaignConfig& config,
+    const std::vector<faults::FaultSchedule>& schedules,
+    const std::vector<core::StackKind>& kinds, std::size_t jobs = 0);
+
+}  // namespace modcast::workload

@@ -31,6 +31,10 @@ struct WorkloadConfig {
   /// Attempts are "blocked" (skipped) when this many messages already wait
   /// for flow-control admission at the sender.
   std::size_t block_threshold = 4;
+  /// Attach the online faults::SafetyChecker to the run; the verdict lands
+  /// in RunResult::safety_ok / safety_violations. Good-run figure benches
+  /// leave this off (it is not free); failure-mode runs turn it on.
+  bool safety_check = false;
 };
 
 /// Result of a single seeded execution.
@@ -46,6 +50,8 @@ struct RunResult {
   std::uint64_t instances = 0;    ///< consensus executions in window
   double msgs_per_consensus = 0.0;
   double bytes_per_consensus = 0.0;
+  bool safety_ok = true;          ///< meaningful iff safety_check was on
+  std::vector<std::string> safety_violations;
 };
 
 /// Runs one seeded execution of the given stack and workload on an

@@ -1,0 +1,110 @@
+// Tests: fault-injection campaign runner (workload/campaign).
+#include "workload/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+
+namespace modcast::workload {
+namespace {
+
+using core::StackKind;
+using util::milliseconds;
+
+CampaignConfig quick_config(std::size_t n = 3) {
+  CampaignConfig cfg;
+  cfg.n = n;
+  cfg.run_for = milliseconds(1200);
+  cfg.drain = milliseconds(2500);
+  return cfg;
+}
+
+TEST(Campaign, StandardBatteryCoversEveryFaultClassWithinF) {
+  for (std::size_t n : {3ul, 7ul}) {
+    const auto schedules = standard_fault_schedules(n);
+    ASSERT_GE(schedules.size(), 12u) << "n=" << n;
+    EXPECT_TRUE(schedules.front().empty());  // fault-free control first
+
+    const std::size_t f = (n - 1) / 2;
+    bool any_crash = false, any_instance = false, any_partition = false;
+    bool any_drop = false, any_churn = false;
+    for (const auto& s : schedules) {
+      EXPECT_LE(s.crash_count(), f) << "n=" << n << " " << s.name;
+      EXPECT_FALSE(s.summary().empty());
+      any_crash |= !s.crashes.empty();
+      any_instance |= !s.instance_crashes.empty();
+      any_partition |= !s.partitions.empty();
+      any_drop |= !s.drop_windows.empty();
+      any_churn |= !s.suspicions.empty();
+    }
+    EXPECT_TRUE(any_crash && any_instance && any_partition && any_drop &&
+                any_churn)
+        << "battery must exercise every fault class (n=" << n << ")";
+  }
+}
+
+TEST(Campaign, CoordinatorCrashScenarioPassesOnBothStacks) {
+  const auto cfg = quick_config();
+  faults::FaultSchedule s;
+  s.name = "coord-crash";
+  s.crashes.push_back({0, milliseconds(400)});
+  for (StackKind kind : {StackKind::kModular, StackKind::kMonolithic}) {
+    const auto r = run_scenario(cfg, s, kind);
+    EXPECT_TRUE(r.safety_ok) << to_string(kind);
+    EXPECT_TRUE(r.violations.empty()) << to_string(kind);
+    EXPECT_GT(r.committed, 0u);
+    EXPECT_EQ(r.first_fault_at, milliseconds(400));
+    ASSERT_EQ(r.fault_log.size(), 1u);
+    EXPECT_GE(r.recovery_ms, 0.0);
+    EXPECT_GT(r.pre_fault_latency_ms.count(), 0u);
+  }
+}
+
+TEST(Campaign, FaultFreeControlReportsNoFault) {
+  const auto r = run_scenario(quick_config(), faults::FaultSchedule{},
+                              StackKind::kModular);
+  EXPECT_TRUE(r.safety_ok);
+  EXPECT_EQ(r.first_fault_at, 0);
+  EXPECT_TRUE(r.fault_log.empty());
+  EXPECT_EQ(r.post_fault_latency_ms.count(), 0u);
+}
+
+TEST(Campaign, ResultsAreIdenticalAcrossJobCounts) {
+  // The acceptance bar for parallel campaigns: byte-identical verdicts and
+  // metrics whatever the thread count, in input order.
+  auto cfg = quick_config();
+  std::vector<faults::FaultSchedule> schedules;
+  faults::FaultSchedule crash;
+  crash.name = "crash";
+  crash.crashes.push_back({0, milliseconds(300)});
+  faults::FaultSchedule churn;
+  churn.name = "churn";
+  churn.suspicions.push_back(
+      {milliseconds(250), faults::kAnyProcess, 0, 2, milliseconds(150)});
+  faults::FaultSchedule cut;
+  cut.name = "cut";
+  cut.partitions.push_back({{2}, milliseconds(300), milliseconds(800)});
+  schedules = {crash, churn, cut};
+  const std::vector<StackKind> kinds = {StackKind::kModular,
+                                        StackKind::kMonolithic};
+
+  const auto serial = run_campaign(cfg, schedules, kinds, 1);
+  const auto parallel = run_campaign(cfg, schedules, kinds, 4);
+  ASSERT_EQ(serial.size(), schedules.size() * kinds.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].kind, parallel[i].kind);
+    EXPECT_EQ(serial[i].safety_ok, parallel[i].safety_ok);
+    EXPECT_EQ(serial[i].committed, parallel[i].committed);
+    EXPECT_EQ(serial[i].deliveries_checked, parallel[i].deliveries_checked);
+    EXPECT_EQ(serial[i].first_fault_at, parallel[i].first_fault_at);
+    EXPECT_EQ(serial[i].recovery_ms, parallel[i].recovery_ms);
+    EXPECT_EQ(serial[i].max_gap_ms, parallel[i].max_gap_ms);
+    EXPECT_EQ(serial[i].fault_log, parallel[i].fault_log);
+    EXPECT_TRUE(serial[i].safety_ok) << serial[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace modcast::workload

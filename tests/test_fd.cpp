@@ -108,6 +108,52 @@ TEST(HeartbeatFd, ForceSuspectSelfIsIgnored) {
   EXPECT_FALSE(h.node(0).fd.suspects(0));
 }
 
+TEST(HeartbeatFd, ChurnKeepsSuspectAndRestoreEventsSymmetric) {
+  // Repeatedly inject wrong suspicions against a live process. Every
+  // suspicion must clear on the next heartbeat, and the event streams must
+  // stay pairwise symmetric: k suspicions ⇒ k restores, ending unsuspected.
+  NodeHarness h(3, 1, fast_fd());
+  h.start();
+  constexpr std::size_t kBursts = 5;
+  for (std::size_t i = 0; i < kBursts; ++i) {
+    h.world().simulator().at(milliseconds(200 + 200 * i), [&] {
+      h.node(0).fd.force_suspect(1);
+    });
+  }
+  h.run_until(seconds(2));
+  EXPECT_FALSE(h.node(0).fd.suspects(1));
+  EXPECT_EQ(h.node(0).suspect_events.size(), kBursts);
+  EXPECT_EQ(h.node(0).restore_events.size(), kBursts);
+  for (util::ProcessId q : h.node(0).restore_events) EXPECT_EQ(q, 1u);
+}
+
+TEST(HeartbeatFd, ForceSuspectWhileAlreadySuspectedIsIdempotent) {
+  NodeHarness h(2, 1, fast_fd());
+  h.start();
+  h.world().simulator().at(milliseconds(300), [&] {
+    h.node(0).fd.force_suspect(1);
+    h.node(0).fd.force_suspect(1);  // duplicate: must not double-raise
+  });
+  h.run_until(seconds(1));
+  EXPECT_EQ(h.node(0).suspect_events.size(), 1u);
+  EXPECT_EQ(h.node(0).restore_events.size(), 1u);
+}
+
+TEST(HeartbeatFd, ChurnAgainstCrashedProcessNeverRestores) {
+  // force_suspect on a genuinely crashed process behaves like a timeout
+  // suspicion: it sticks, and no restore event is ever raised.
+  NodeHarness h(3, 1, fast_fd());
+  h.start();
+  h.world().crash_at(2, milliseconds(100));
+  h.world().simulator().at(milliseconds(150), [&] {
+    h.node(0).fd.force_suspect(2);  // races the timeout; either marks first
+  });
+  h.run_until(seconds(2));
+  EXPECT_TRUE(h.node(0).fd.suspects(2));
+  EXPECT_EQ(h.node(0).suspect_events.size(), 1u);
+  EXPECT_TRUE(h.node(0).restore_events.empty());
+}
+
 TEST(HeartbeatFd, SuspectEventRaisedOncePerTransition) {
   NodeHarness h(2, 1, fast_fd());
   h.start();

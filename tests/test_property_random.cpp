@@ -69,6 +69,9 @@ TEST_P(RandomFaultProperty, AbcastContractHolds) {
   cfg.stack.opt_combine = sc.opt_combine;
   cfg.stack.opt_piggyback = sc.opt_piggyback;
   cfg.stack.opt_cheap_decision = sc.opt_cheap_decision;
+  // The online SafetyChecker asserts the same contract incrementally while
+  // the run executes — it must agree with the post-hoc log checks below.
+  cfg.safety_check = true;
   SimGroup group(cfg);
 
   // Random workload: each process abcasts 10–40 small messages at random
@@ -137,6 +140,16 @@ TEST_P(RandomFaultProperty, AbcastContractHolds) {
   auto check = check_agreement_among_correct(group);
   EXPECT_TRUE(check.ok) << scenario_name({GetParam(), 0}) << ": "
                         << check.detail;
+
+  // Online invariants: the incremental checker saw every delivery as it
+  // happened and must report a clean run (agreement, total order, validity,
+  // integrity) with no liveness stall.
+  const auto safety = group.safety_report();
+  EXPECT_TRUE(safety.ok) << scenario_name({GetParam(), 0});
+  for (const auto& v : safety.violations) ADD_FAILURE() << "safety: " << v;
+  for (const auto& s : safety.stalls) ADD_FAILURE() << "stall: " << s;
+  EXPECT_GT(safety.deliveries_checked, 0u);
+  EXPECT_GT(safety.committed, 0u);
 
   // No creation: everything delivered was actually abcast.
   for (util::ProcessId p = 0; p < sc.n; ++p) {
