@@ -3,7 +3,7 @@
 // serialization, and a full simulated consensus instance.
 #include <benchmark/benchmark.h>
 
-#include "abcast/types.hpp"
+#include "adb/types.hpp"
 #include "core/sim_group.hpp"
 #include "framework/stack.hpp"
 #include "runtime/sim_world.hpp"
@@ -61,15 +61,15 @@ BENCHMARK(BM_WireHeaderRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_BatchEncodeDecode(benchmark::State& state) {
   const auto count = static_cast<std::size_t>(state.range(0));
-  std::vector<abcast::AppMessage> batch;
+  std::vector<adb::AppMessage> batch;
   for (std::size_t i = 0; i < count; ++i) {
     batch.push_back({{static_cast<util::ProcessId>(i % 3), i},
                      util::Bytes(1024, 0x11)});
   }
   std::size_t sink = 0;
   for (auto _ : state) {
-    auto encoded = abcast::encode_batch(batch);
-    auto decoded = abcast::decode_batch(encoded);
+    auto encoded = adb::encode_batch(batch);
+    auto decoded = adb::decode_batch(encoded);
     sink += decoded.size();
   }
   benchmark::DoNotOptimize(sink);

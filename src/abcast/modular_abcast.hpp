@@ -27,11 +27,23 @@
 #include <map>
 #include <set>
 
-#include "abcast/types.hpp"
+#include "adb/types.hpp"
 #include "framework/stack.hpp"
 #include "util/seq_tracker.hpp"
 
 namespace modcast::abcast {
+
+// The ADB service types are this module's vocabulary; import them so the
+// protocol logic reads in terms of the service it implements.
+using adb::AppMessage;
+using adb::decode_batch;
+using adb::decode_id_batch;
+using adb::decode_message;
+using adb::encode_batch;
+using adb::encode_id_batch;
+using adb::encode_message;
+using adb::encoded_size;
+using adb::MsgId;
 
 struct AbcastConfig {
   /// Per-process flow-control window W (own messages in flight).

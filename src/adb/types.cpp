@@ -1,6 +1,6 @@
-#include "abcast/types.hpp"
+#include "adb/types.hpp"
 
-namespace modcast::abcast {
+namespace modcast::adb {
 
 void encode_message(util::ByteWriter& w, const AppMessage& m) {
   w.u32(m.id.origin);
@@ -75,4 +75,4 @@ std::vector<MsgId> decode_id_batch(const util::Bytes& data) {
   return ids;
 }
 
-}  // namespace modcast::abcast
+}  // namespace modcast::adb

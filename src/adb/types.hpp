@@ -1,6 +1,8 @@
-// Message identity and batch wire format shared by both atomic broadcast
-// implementations (the data format is not protocol logic, so sharing it
-// keeps the modular/monolithic comparison apples-to-apples).
+// ADB service layer: message identity and batch wire format shared by both
+// atomic broadcast implementations (the data format is not protocol logic,
+// so sharing it keeps the modular/monolithic comparison apples-to-apples).
+// Lives outside src/abcast so the monolithic stack never includes modular
+// stack headers — modcheck enforces that boundary.
 #pragma once
 
 #include <compare>
@@ -10,7 +12,7 @@
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
 
-namespace modcast::abcast {
+namespace modcast::adb {
 
 /// Globally unique id of an abcast message: (origin process, per-origin seq).
 struct MsgId {
@@ -45,4 +47,4 @@ std::size_t encoded_size(const AppMessage& m);
 util::Bytes encode_id_batch(const std::vector<MsgId>& ids);
 std::vector<MsgId> decode_id_batch(const util::Bytes& data);
 
-}  // namespace modcast::abcast
+}  // namespace modcast::adb

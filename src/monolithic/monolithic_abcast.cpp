@@ -96,8 +96,8 @@ std::uint64_t MonolithicAbcast::abcast(util::Bytes payload) {
 
 void MonolithicAbcast::admit_queued() {
   while (in_flight_ < config_.window && !app_queue_.empty()) {
-    abcast::AppMessage m;
-    m.id = abcast::MsgId{stack_->self(), next_seq_++};
+    adb::AppMessage m;
+    m.id = adb::MsgId{stack_->self(), next_seq_++};
     m.payload = std::move(app_queue_.front());
     app_queue_.pop_front();
     ++in_flight_;
@@ -108,12 +108,12 @@ void MonolithicAbcast::admit_queued() {
   }
 }
 
-void MonolithicAbcast::route_message(abcast::AppMessage m) {
+void MonolithicAbcast::route_message(adb::AppMessage m) {
   if (!config_.opt_piggyback) {
     // Modular-style diffusion: everyone gets (and pools) the message.
     util::ByteWriter w(m.payload.size() + 32);
     w.u8(kForward);
-    w.raw(abcast::encode_batch({m}));
+    w.raw(adb::encode_batch({m}));
     stack_->send_wire_to_others(framework::kModMonolithic, w.take());
     pool_add(std::move(m));
     return;
@@ -138,11 +138,11 @@ void MonolithicAbcast::arm_flush_timer() {
 
 void MonolithicAbcast::flush_outbox_standalone() {
   if (outbox_.empty()) return;
-  std::vector<abcast::AppMessage> batch(outbox_.begin(), outbox_.end());
+  std::vector<adb::AppMessage> batch(outbox_.begin(), outbox_.end());
   outbox_.clear();
   util::ByteWriter w;
   w.u8(kForward);
-  w.raw(abcast::encode_batch(batch));
+  w.raw(adb::encode_batch(batch));
   // Route to the coordinator of the instance currently making progress. If
   // the initial coordinator is suspected and no instance is active, spin up
   // recovery first so the forward goes to a live coordinator.
@@ -176,18 +176,18 @@ void MonolithicAbcast::flush_outbox_standalone() {
   ++stats_.forwards_sent;
 }
 
-void MonolithicAbcast::pool_add(abcast::AppMessage m) {
+void MonolithicAbcast::pool_add(adb::AppMessage m) {
   if (delivered_.seen(m.id.origin, m.id.seq)) return;
   if (pool_ids_.count(m.id) != 0) return;
   pool_ids_.insert(m.id);
   pool_fifo_.push_back(std::move(m));
 }
 
-std::vector<abcast::AppMessage> MonolithicAbcast::take_batch() {
-  std::vector<abcast::AppMessage> batch;
-  std::deque<abcast::AppMessage> keep;
+std::vector<adb::AppMessage> MonolithicAbcast::take_batch() {
+  std::vector<adb::AppMessage> batch;
+  std::deque<adb::AppMessage> keep;
   while (!pool_fifo_.empty()) {
-    abcast::AppMessage& m = pool_fifo_.front();
+    adb::AppMessage& m = pool_fifo_.front();
     if (pool_ids_.count(m.id) != 0) {
       if (batch.size() < config_.max_batch) batch.push_back(m);
       keep.push_back(std::move(m));
@@ -201,10 +201,10 @@ std::vector<abcast::AppMessage> MonolithicAbcast::take_batch() {
 util::Bytes MonolithicAbcast::build_estimate_value() {
   // Recovery initial value: own undelivered messages plus whatever we have
   // pooled — safety (not losing messages) over compactness in bad runs.
-  std::vector<abcast::AppMessage> batch;
-  std::set<abcast::MsgId> added;
+  std::vector<adb::AppMessage> batch;
+  std::set<adb::MsgId> added;
   for (const auto& [id, payload] : own_pending_) {
-    batch.push_back(abcast::AppMessage{id, payload});
+    batch.push_back(adb::AppMessage{id, payload});
     added.insert(id);
   }
   for (const auto& m : pool_fifo_) {
@@ -213,7 +213,7 @@ util::Bytes MonolithicAbcast::build_estimate_value() {
     batch.push_back(m);
     added.insert(m.id);
   }
-  return abcast::encode_batch(batch);
+  return adb::encode_batch(batch);
 }
 
 // --------------------------------------------------------------------------
@@ -234,11 +234,11 @@ bool MonolithicAbcast::try_start_instance() {
     }
   }
 
-  std::vector<abcast::AppMessage> batch = take_batch();
+  std::vector<adb::AppMessage> batch = take_batch();
   if (batch.empty()) return false;
 
   Instance& inst = instance(k);
-  util::Bytes value = abcast::encode_batch(batch);
+  util::Bytes value = adb::encode_batch(batch);
   inst.proposed_rounds.insert(1);
   inst.proposals[1] = value;
   inst.estimate = value;
@@ -381,9 +381,9 @@ void MonolithicAbcast::send_estimate(Instance& inst, std::uint32_t round,
   }
   // §4.2 fallback: re-piggyback undelivered own messages on the estimate to
   // the new coordinator.
-  std::vector<abcast::AppMessage> piggy;
+  std::vector<adb::AppMessage> piggy;
   for (const auto& [id, payload] : own_pending_) {
-    piggy.push_back(abcast::AppMessage{id, payload});
+    piggy.push_back(adb::AppMessage{id, payload});
   }
   outbox_.clear();  // superseded: everything undelivered rides this estimate
 
@@ -393,7 +393,7 @@ void MonolithicAbcast::send_estimate(Instance& inst, std::uint32_t round,
   w.u32(round);
   w.u32(inst.estimate_ts);
   w.blob(inst.estimate);
-  w.raw(abcast::encode_batch(piggy));
+  w.raw(adb::encode_batch(piggy));
   stack_->send_wire(coord, framework::kModMonolithic, w.take());
 }
 
@@ -482,7 +482,7 @@ void MonolithicAbcast::maybe_decide_as_coordinator(Instance& inst,
 
 void MonolithicAbcast::send_ack(Instance& inst, std::uint32_t round,
                                 util::ProcessId coord) {
-  std::vector<abcast::AppMessage> piggy;
+  std::vector<adb::AppMessage> piggy;
   if (config_.opt_piggyback) {
     piggy.assign(outbox_.begin(), outbox_.end());
     outbox_.clear();
@@ -496,7 +496,7 @@ void MonolithicAbcast::send_ack(Instance& inst, std::uint32_t round,
   w.u8(kAck);
   w.u64(inst.k);
   w.u32(round);
-  w.raw(abcast::encode_batch(piggy));
+  w.raw(adb::encode_batch(piggy));
   stack_->send_wire(coord, framework::kModMonolithic, w.take());
 }
 
@@ -612,14 +612,14 @@ void MonolithicAbcast::apply_ready_decisions() {
     }
     auto it = ready_decisions_.find(next_decide_);
     if (it == ready_decisions_.end()) break;
-    std::vector<abcast::AppMessage> batch = abcast::decode_batch(it->second);
+    std::vector<adb::AppMessage> batch = adb::decode_batch(it->second);
     ready_decisions_.erase(it);
 
     std::sort(batch.begin(), batch.end(),
-              [](const abcast::AppMessage& a, const abcast::AppMessage& b) {
+              [](const adb::AppMessage& a, const adb::AppMessage& b) {
                 return a.id < b.id;
               });
-    for (abcast::AppMessage& m : batch) {
+    for (adb::AppMessage& m : batch) {
       if (!delivered_.mark(m.id.origin, m.id.seq)) continue;
       pool_ids_.erase(m.id);
       if (m.id.origin == stack_->self()) {
@@ -738,7 +738,7 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
       const std::uint64_t k = r.u64();
       const std::uint32_t round = r.u32();
       util::Bytes piggy(r.rest().begin(), r.rest().end());
-      for (auto& m : abcast::decode_batch(piggy)) pool_add(std::move(m));
+      for (auto& m : adb::decode_batch(piggy)) pool_add(std::move(m));
       if (k >= next_decide_ && decisions_.count(k) == 0) {
         Instance& inst = instance(k);
         if (!inst.decided && coordinator(round) == stack_->self() &&
@@ -753,7 +753,7 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
     }
     case kForward: {
       util::Bytes batch(r.rest().begin(), r.rest().end());
-      for (auto& m : abcast::decode_batch(batch)) pool_add(std::move(m));
+      for (auto& m : adb::decode_batch(batch)) pool_add(std::move(m));
       try_start_instance();
       // If we coordinate a held recovery round, the fresh pool content may
       // unblock it.
@@ -781,7 +781,7 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
       const std::uint32_t ts = r.u32();
       util::Bytes est = r.blob();
       util::Bytes piggy(r.rest().begin(), r.rest().end());
-      for (auto& m : abcast::decode_batch(piggy)) pool_add(std::move(m));
+      for (auto& m : adb::decode_batch(piggy)) pool_add(std::move(m));
       if (decisions_.count(k) != 0 || k < next_decide_) {
         reply_decision_if_known(from, k);
         break;
@@ -925,14 +925,14 @@ void MonolithicAbcast::arm_liveness_timer() {
         if (config_.opt_piggyback && !i_am_initial_coordinator()) {
           outbox_.clear();
           for (const auto& [id, payload] : own_pending_) {
-            outbox_.push_back(abcast::AppMessage{id, payload});
+            outbox_.push_back(adb::AppMessage{id, payload});
           }
           flush_outbox_standalone();
         } else if (!config_.opt_piggyback) {
           for (const auto& [id, payload] : own_pending_) {
             util::ByteWriter w(payload.size() + 32);
             w.u8(kForward);
-            w.raw(abcast::encode_batch({abcast::AppMessage{id, payload}}));
+            w.raw(adb::encode_batch({adb::AppMessage{id, payload}}));
             stack_->send_wire_to_others(framework::kModMonolithic, w.take());
           }
         }

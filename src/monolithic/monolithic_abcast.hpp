@@ -37,7 +37,7 @@
 #include <string>
 #include <vector>
 
-#include "abcast/types.hpp"
+#include "adb/types.hpp"
 #include "fd/heartbeat_fd.hpp"
 #include "framework/stack.hpp"
 #include "util/seq_tracker.hpp"
@@ -153,11 +153,11 @@ class MonolithicAbcast final : public framework::Module {
 
   // --- application / flow control ---
   void admit_queued();
-  void route_message(abcast::AppMessage m);
+  void route_message(adb::AppMessage m);
   void flush_outbox_standalone();
   void arm_flush_timer();
-  void pool_add(abcast::AppMessage m);
-  std::vector<abcast::AppMessage> take_batch();
+  void pool_add(adb::AppMessage m);
+  std::vector<adb::AppMessage> take_batch();
   util::Bytes build_estimate_value();
 
   // --- coordinator good path ---
@@ -212,14 +212,14 @@ class MonolithicAbcast final : public framework::Module {
   std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;
   std::deque<util::Bytes> app_queue_;
-  std::map<abcast::MsgId, util::Bytes> own_pending_;  ///< admitted, undelivered
-  std::deque<abcast::AppMessage> outbox_;  ///< not yet sent to coordinator
+  std::map<adb::MsgId, util::Bytes> own_pending_;  ///< admitted, undelivered
+  std::deque<adb::AppMessage> outbox_;  ///< not yet sent to coordinator
   runtime::TimerId flush_timer_ = runtime::kInvalidTimer;
 
   // Ordering pool (coordinator: messages to order; with opt_piggyback off,
   // every process pools every diffused message, like the modular stack).
-  std::deque<abcast::AppMessage> pool_fifo_;
-  std::set<abcast::MsgId> pool_ids_;
+  std::deque<adb::AppMessage> pool_fifo_;
+  std::set<adb::MsgId> pool_ids_;
   util::SeqTracker seen_;
   util::SeqTracker delivered_;
 

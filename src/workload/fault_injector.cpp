@@ -1,10 +1,10 @@
-#include "faults/fault_injector.hpp"
+#include "workload/fault_injector.hpp"
 
 #include <cassert>
 #include <memory>
 #include <utility>
 
-namespace modcast::faults {
+namespace modcast::workload {
 
 FaultInjector::FaultInjector(core::SimGroup& group, FaultSchedule schedule)
     : group_(&group), schedule_(std::move(schedule)) {}
@@ -121,4 +121,4 @@ void FaultInjector::arm_suspicions(const SuspicionBurst& burst) {
   }
 }
 
-}  // namespace modcast::faults
+}  // namespace modcast::workload

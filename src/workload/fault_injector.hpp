@@ -16,7 +16,14 @@
 #include "core/sim_group.hpp"
 #include "faults/fault_schedule.hpp"
 
-namespace modcast::faults {
+namespace modcast::workload {
+
+// Schedule vocabulary comes from the faults layer below.
+using faults::CrashOnInstance;
+using faults::FaultSchedule;
+using faults::kAnyProcess;
+using faults::Partition;
+using faults::SuspicionBurst;
 
 class FaultInjector {
  public:
@@ -51,4 +58,4 @@ class FaultInjector {
   bool armed_ = false;
 };
 
-}  // namespace modcast::faults
+}  // namespace modcast::workload

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+// modcheck:allow(det.thread): this IS the sweep runner: each simulated run is single-threaded and seed-deterministic; threads only partition independent (point, seed) tasks, and results are merged in task order
 #include <thread>
 
 namespace modcast::workload {
@@ -23,6 +24,7 @@ std::vector<AggregateResult> run_sweep(const std::vector<SweepPoint>& points,
     }
   }
 
+  // modcheck:allow(det.thread): jobs=0 asks for all cores explicitly; the task list, not the pool size, determines the results
   if (jobs == 0) jobs = std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 1;
   jobs = std::min(jobs, tasks.size());
@@ -42,6 +44,7 @@ std::vector<AggregateResult> run_sweep(const std::vector<SweepPoint>& points,
   if (jobs <= 1) {
     worker();
   } else {
+    // modcheck:allow(det.thread): worker pool joins before any result is read.
     std::vector<std::thread> pool;
     pool.reserve(jobs);
     for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);

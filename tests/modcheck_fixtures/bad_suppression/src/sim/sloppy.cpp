@@ -1,0 +1,17 @@
+#include <cstdlib>
+
+namespace fx {
+
+int sloppy() {
+  // modcheck:allow(det.rand)
+  int a = std::rand();
+
+  // modcheck:allow(det.nosuchrule): message
+  int b = std::rand();
+
+  // modcheck:allow(det.thread): nothing here spawns a thread
+  int c = 0;
+  return a + b + c;
+}
+
+}

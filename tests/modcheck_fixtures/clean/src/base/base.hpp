@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+inline int base_value() { return 7; }
+}

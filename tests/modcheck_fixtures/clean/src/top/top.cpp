@@ -1,0 +1,14 @@
+#include "base/base.hpp"
+
+#include <map>
+#include <vector>
+
+namespace fx {
+// Deterministic by construction: ordered containers, virtual time only.
+int top_value() {
+  std::map<int, int> m{{1, 2}};
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += k + v;
+  return sum + base_value();
+}
+}

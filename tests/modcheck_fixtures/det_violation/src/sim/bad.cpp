@@ -1,0 +1,28 @@
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+namespace fx {
+
+struct Node { int id; };
+
+int all_the_sins() {
+  int seed = std::rand();
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  long stamp = time(nullptr);
+
+  std::unordered_map<int, int> table{{1, 2}, {3, 4}};
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += k + v;
+  for (auto it = table.begin(); it != table.end(); ++it) sum += it->second;
+
+  std::map<Node*, int> by_ptr;
+  std::thread t([] {});
+  t.join();
+  return seed + sum + static_cast<int>(stamp) + static_cast<int>(by_ptr.size());
+}
+
+}

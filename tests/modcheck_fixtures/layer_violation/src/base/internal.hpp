@@ -1,0 +1,2 @@
+#pragma once
+namespace fx { inline int internal() { return 2; } }

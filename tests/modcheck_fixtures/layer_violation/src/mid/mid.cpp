@@ -1,0 +1,3 @@
+#include "base/internal.hpp"
+
+namespace fx { int mid() { return internal(); } }

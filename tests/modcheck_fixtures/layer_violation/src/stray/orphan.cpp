@@ -1,0 +1,1 @@
+namespace fx { int orphan() { return 0; } }

@@ -1,0 +1,3 @@
+#include "base/pub.hpp"
+
+namespace fx { int top() { return pub(); } }

@@ -1,0 +1,17 @@
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fx {
+
+int tolerated() {
+  // modcheck:allow(det.rand): fixture — pretend this is a diagnostics-only path
+  int seed = std::rand();
+
+  std::unordered_map<int, int> table{{1, 2}};
+  int sum = 0;
+  // modcheck:allow(det.unordered-iter): fixture — aggregate is order-independent (sum)
+  for (const auto& [k, v] : table) sum += k + v;
+  return seed + sum;
+}
+
+}

@@ -1,17 +1,18 @@
 // Unit tests: fault schedules, the online safety checker, and the injector
-// (faults/fault_schedule, faults/safety_checker, faults/fault_injector).
+// (faults/fault_schedule, faults/safety_checker, workload/fault_injector).
 #include <gtest/gtest.h>
 
 #include "core/sim_group.hpp"
-#include "faults/fault_injector.hpp"
 #include "faults/fault_schedule.hpp"
 #include "faults/safety_checker.hpp"
+#include "workload/fault_injector.hpp"
 
 namespace modcast::faults {
 namespace {
 
 using util::milliseconds;
 using util::seconds;
+using workload::FaultInjector;
 
 // --- FaultSchedule (pure data helpers) --------------------------------------
 

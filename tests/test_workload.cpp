@@ -1,10 +1,10 @@
-// Unit tests: experiment harness (workload/experiment) and abcast wire
-// types (abcast/types).
+// Unit tests: experiment harness (workload/experiment) and ADB service
+// wire types (adb/types).
 #include "workload/experiment.hpp"
 
 #include <gtest/gtest.h>
 
-#include "abcast/types.hpp"
+#include "adb/types.hpp"
 
 namespace modcast::workload {
 namespace {
@@ -80,10 +80,10 @@ TEST(Experiment, AggregateProducesConfidenceIntervals) {
 }  // namespace
 }  // namespace modcast::workload
 
-namespace modcast::abcast {
+namespace modcast::adb {
 namespace {
 
-TEST(AbcastTypes, MessageRoundTrip) {
+TEST(AdbTypes, MessageRoundTrip) {
   AppMessage m;
   m.id = {4, 12345};
   m.payload = util::Bytes{9, 8, 7, 6};
@@ -96,7 +96,7 @@ TEST(AbcastTypes, MessageRoundTrip) {
   EXPECT_EQ(back.payload, m.payload);
 }
 
-TEST(AbcastTypes, BatchRoundTrip) {
+TEST(AdbTypes, BatchRoundTrip) {
   std::vector<AppMessage> batch;
   for (std::uint32_t i = 0; i < 5; ++i) {
     batch.push_back({{i, i * 100}, util::Bytes(i, static_cast<uint8_t>(i))});
@@ -110,22 +110,22 @@ TEST(AbcastTypes, BatchRoundTrip) {
   }
 }
 
-TEST(AbcastTypes, EmptyBatch) {
+TEST(AdbTypes, EmptyBatch) {
   auto encoded = encode_batch({});
   EXPECT_EQ(encoded.size(), 4u);
   EXPECT_TRUE(decode_batch(encoded).empty());
 }
 
-TEST(AbcastTypes, MsgIdOrdering) {
+TEST(AdbTypes, MsgIdOrdering) {
   EXPECT_LT((MsgId{0, 5}), (MsgId{1, 0}));
   EXPECT_LT((MsgId{1, 0}), (MsgId{1, 1}));
   EXPECT_EQ((MsgId{2, 3}), (MsgId{2, 3}));
 }
 
-TEST(AbcastTypes, CorruptBatchThrows) {
+TEST(AdbTypes, CorruptBatchThrows) {
   util::Bytes bad = {0xff, 0xff, 0xff, 0xff};  // claims 4 billion messages
   EXPECT_THROW(decode_batch(bad), util::DecodeError);
 }
 
 }  // namespace
-}  // namespace modcast::abcast
+}  // namespace modcast::adb

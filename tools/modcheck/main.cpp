@@ -1,0 +1,89 @@
+// modcheck CLI.
+//
+//   modcheck --root src --manifest tools/modcheck/layers.toml
+//       [--json report.json] [--quiet]
+//
+// Prints one "file:line: rule — message" diagnostic per finding (suppressed
+// findings are listed with their justification unless --quiet) and exits
+// nonzero when any unsuppressed violation remains.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "modcheck.hpp"
+
+int main(int argc, char** argv) {
+  std::string root, manifest_path, json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "modcheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--manifest") {
+      manifest_path = value("--manifest");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: modcheck --root <dir> --manifest <layers.toml> "
+                   "[--json <out>] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "modcheck: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty() || manifest_path.empty()) {
+    std::cerr << "modcheck: --root and --manifest are required (see --help)\n";
+    return 2;
+  }
+
+  modcheck::Manifest manifest;
+  try {
+    manifest = modcheck::load_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::cerr << "modcheck: bad manifest: " << e.what() << "\n";
+    return 2;
+  }
+
+  modcheck::Report report;
+  try {
+    report = modcheck::analyze(root, manifest);
+  } catch (const std::exception& e) {
+    std::cerr << "modcheck: " << e.what() << "\n";
+    return 2;
+  }
+
+  for (const modcheck::Diagnostic& d : report.diagnostics) {
+    if (d.suppressed) {
+      if (!quiet)
+        std::cout << d.file << ":" << d.line << ": " << d.rule
+                  << " — suppressed: " << d.justification << "\n";
+      continue;
+    }
+    std::cout << d.file << ":" << d.line << ": " << d.rule << " — "
+              << d.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "modcheck: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << modcheck::to_json(report, root);
+  }
+
+  std::cout << "modcheck: " << report.files_scanned << " files, "
+            << report.violations() << " violation(s), "
+            << report.suppressions() << " suppressed\n";
+  return report.violations() == 0 ? 0 : 1;
+}

@@ -1,0 +1,719 @@
+#include "modcheck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace modcheck {
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::set<std::string> kKnownRules = {
+    "layer.forbidden",     "layer.private-header", "layer.unmapped",
+    "det.rand",            "det.random-device",    "det.wall-clock",
+    "det.unordered-iter",  "det.pointer-order",    "det.thread",
+    "meta.bad-suppression", "meta.unused-suppression",
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+const Layer* Manifest::find(const std::string& name) const {
+  for (const Layer& l : layers)
+    if (l.name == name) return &l;
+  return nullptr;
+}
+
+bool Manifest::deterministic(const std::string& layer_name) const {
+  return std::find(determinism_layers.begin(), determinism_layers.end(),
+                   layer_name) != determinism_layers.end();
+}
+
+Manifest parse_manifest(std::istream& in) {
+  Manifest m;
+  Layer* current = nullptr;
+  bool in_determinism = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw std::runtime_error(std::to_string(lineno) +
+                                 ": unterminated section header");
+      std::string section = trim(line.substr(1, line.size() - 2));
+      if (section == "determinism") {
+        in_determinism = true;
+        current = nullptr;
+      } else if (section.rfind("layer ", 0) == 0) {
+        in_determinism = false;
+        Layer l;
+        l.name = trim(section.substr(6));
+        if (l.name.empty())
+          throw std::runtime_error(std::to_string(lineno) +
+                                   ": [layer] needs a name");
+        if (m.find(l.name))
+          throw std::runtime_error(std::to_string(lineno) +
+                                   ": duplicate layer " + l.name);
+        m.layers.push_back(l);
+        current = &m.layers.back();
+      } else {
+        throw std::runtime_error(std::to_string(lineno) +
+                                 ": unknown section [" + section + "]");
+      }
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error(std::to_string(lineno) +
+                               ": expected key = value");
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (in_determinism) {
+      if (key != "layers")
+        throw std::runtime_error(std::to_string(lineno) +
+                                 ": unknown determinism key " + key);
+      m.determinism_layers = split_ws(value);
+    } else if (current) {
+      if (key == "path") {
+        current->path = value;
+      } else if (key == "deps") {
+        current->deps = split_ws(value);
+      } else if (key == "public") {
+        current->public_headers = split_ws(value);
+      } else {
+        throw std::runtime_error(std::to_string(lineno) + ": unknown key " +
+                                 key + " in [layer " + current->name + "]");
+      }
+    } else {
+      throw std::runtime_error(std::to_string(lineno) +
+                               ": key outside any section");
+    }
+  }
+
+  // Validate: paths present, dep names known, determinism names known.
+  for (const Layer& l : m.layers) {
+    if (l.path.empty())
+      throw std::runtime_error("layer " + l.name + " has no path");
+    for (const std::string& d : l.deps)
+      if (!m.find(d))
+        throw std::runtime_error("layer " + l.name +
+                                 " depends on unknown layer " + d);
+  }
+  for (const std::string& d : m.determinism_layers)
+    if (!m.find(d))
+      throw std::runtime_error("determinism scope names unknown layer " + d);
+
+  // Validate: the declared edges form a DAG (depth-first cycle check).
+  std::map<std::string, int> state;  // 0 unseen, 1 on stack, 2 done
+  std::vector<const Layer*> stack;
+  std::function<void(const Layer&)> visit = [&](const Layer& l) {
+    state[l.name] = 1;
+    for (const std::string& d : l.deps) {
+      const Layer* dep = m.find(d);
+      if (state[dep->name] == 1)
+        throw std::runtime_error("layer cycle through " + l.name + " -> " +
+                                 dep->name);
+      if (state[dep->name] == 0) visit(*dep);
+    }
+    state[l.name] = 2;
+  };
+  for (const Layer& l : m.layers)
+    if (state[l.name] == 0) visit(l);
+  return m;
+}
+
+Manifest load_manifest(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("cannot open manifest " + file.string());
+  try {
+    return parse_manifest(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(file.string() + ":" + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: comment/string stripping and tokenization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line;
+  bool ident;
+};
+
+/// Removes comments and the contents of string/char literals while keeping
+/// line structure intact (so token line numbers match the source).
+std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    std::string code;
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        i += 2;
+        continue;
+      }
+      char c = line[i];
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        code += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        code += quote;
+        continue;
+      }
+      code += c;
+      ++i;
+    }
+    out.push_back(code);
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::vector<std::string>& code_lines) {
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    int lineno = static_cast<int>(li) + 1;
+    for (std::size_t i = 0; i < line.size();) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                line[j] == '_'))
+          ++j;
+        toks.push_back({line.substr(i, j - i), lineno, true});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        while (j < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                line[j] == '.' || line[j] == '\''))
+          ++j;
+        toks.push_back({line.substr(i, j - i), lineno, false});
+        i = j;
+      } else {
+        toks.push_back({std::string(1, c), lineno, false});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+bool tok_is(const std::vector<Token>& t, std::size_t i, const char* s) {
+  return i < t.size() && t[i].text == s;
+}
+
+/// True when tokens[i] is qualified as std:: (i.e. preceded by "std::").
+bool std_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 3 && t[i - 1].text == ":" && t[i - 2].text == ":" &&
+         t[i - 3].text == "std";
+}
+
+/// True when tokens[i] is a member access (preceded by "." or "->").
+bool member_access(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return false;
+  if (t[i - 1].text == ".") return true;
+  return i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-";
+}
+
+/// Skips a balanced <...> starting at the '<' at index i; returns the index
+/// just past the matching '>'. Returns i when tokens[i] is not '<'.
+std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
+  if (!tok_is(t, i, "<")) return i;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    if (t[i].text == ">" && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+// --- Suppressions -----------------------------------------------------------
+
+struct Suppression {
+  int line;  ///< covers this line and the next
+  std::string rule;
+  std::string justification;
+  bool used = false;
+};
+
+/// Extracts modcheck:allow(...) annotations from the raw source lines.
+/// Malformed annotations become meta.bad-suppression diagnostics.
+std::vector<Suppression> collect_suppressions(
+    const std::string& file, const std::vector<std::string>& lines,
+    std::vector<Diagnostic>& out) {
+  std::vector<Suppression> sups;
+  const std::string marker = "modcheck:allow(";
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    int lineno = static_cast<int>(li) + 1;
+    std::size_t at = line.find(marker);
+    if (at == std::string::npos) continue;
+    std::size_t open = at + marker.size() - 1;
+    std::size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      out.push_back({file, lineno, "meta.bad-suppression",
+                     "unterminated modcheck:allow(...)", false, ""});
+      continue;
+    }
+    std::string rule = trim(line.substr(open + 1, close - open - 1));
+    if (!kKnownRules.count(rule)) {
+      out.push_back({file, lineno, "meta.bad-suppression",
+                     "modcheck:allow names unknown rule '" + rule + "'",
+                     false, ""});
+      continue;
+    }
+    std::string rest = trim(line.substr(close + 1));
+    if (rest.empty() || rest[0] != ':' || trim(rest.substr(1)).empty()) {
+      out.push_back({file, lineno, "meta.bad-suppression",
+                     "modcheck:allow(" + rule +
+                         ") needs a justification: \"// modcheck:allow(" +
+                         rule + "): why this is safe\"",
+                     false, ""});
+      continue;
+    }
+    sups.push_back({lineno, rule, trim(rest.substr(1)), false});
+  }
+  return sups;
+}
+
+// --- Per-file analysis ------------------------------------------------------
+
+struct FileContext {
+  std::string file;  ///< relative path used in diagnostics
+  const Manifest* manifest;
+  const Layer* layer;            ///< owning layer (may be null)
+  bool det;                      ///< determinism rules apply
+  std::vector<Suppression> sups;
+  std::vector<Diagnostic> pending;
+
+  void flag(int line, const std::string& rule, const std::string& message) {
+    pending.push_back({file, line, rule, message, false, ""});
+  }
+};
+
+/// Resolves the layer owning `path` (relative to root) by longest prefix.
+const Layer* layer_of(const Manifest& m, const std::string& path) {
+  const Layer* best = nullptr;
+  std::size_t best_len = 0;
+  for (const Layer& l : m.layers) {
+    const std::string prefix = l.path + "/";
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() > best_len) {
+      best = &l;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+/// Include scanning reads the RAW lines (the include path is a string
+/// literal, which the code view blanks out); the code view only gates out
+/// includes sitting inside comments.
+void check_includes(FileContext& ctx, const std::vector<std::string>& raw,
+                    const std::vector<std::string>& code,
+                    const fs::path& root) {
+  const Manifest& m = *ctx.manifest;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    int lineno = static_cast<int>(li) + 1;
+    std::string gate = trim(code[li]);
+    if (gate.empty() || gate[0] != '#') continue;
+    std::string t = trim(line);
+    if (t.empty() || t[0] != '#') continue;
+    std::string directive = trim(t.substr(1));
+    if (directive.rfind("include", 0) != 0) continue;
+    std::string rest = trim(directive.substr(7));
+    if (rest.empty()) continue;
+    if (rest[0] == '<') {
+      if (!ctx.det) continue;
+      std::size_t close = rest.find('>');
+      if (close == std::string::npos) continue;
+      std::string header = rest.substr(1, close - 1);
+      if (header == "thread") {
+        ctx.flag(lineno, "det.thread",
+                 "<thread> in determinism scope — threads only in the sweep "
+                 "runner");
+      } else if (header == "random") {
+        ctx.flag(lineno, "det.rand",
+                 "<random> in determinism scope — use util/rng.hpp streams");
+      } else if (header == "ctime" || header == "time.h" ||
+                 header == "sys/time.h") {
+        ctx.flag(lineno, "det.wall-clock",
+                 "<" + header + "> in determinism scope — use virtual time");
+      }
+      continue;
+    }
+    if (rest[0] != '"') continue;
+    std::size_t close = rest.find('"', 1);
+    if (close == std::string::npos) continue;
+    std::string inc = rest.substr(1, close - 1);
+    // Resolve: project includes are root-relative ("util/bytes.hpp"); a
+    // bare name ("foo.hpp") refers to the including file's own directory.
+    std::string resolved = inc;
+    if (!fs::exists(root / resolved)) {
+      fs::path sibling = fs::path(ctx.file).parent_path() / inc;
+      if (fs::exists(root / sibling)) resolved = sibling.generic_string();
+    }
+    const Layer* target = layer_of(m, resolved);
+    if (!target || !ctx.layer) continue;  // unmapped handled elsewhere
+    if (target == ctx.layer) continue;
+    bool allowed =
+        std::find(ctx.layer->deps.begin(), ctx.layer->deps.end(),
+                  target->name) != ctx.layer->deps.end();
+    if (!allowed) {
+      ctx.flag(lineno, "layer.forbidden",
+               "layer '" + ctx.layer->name + "' must not include '" +
+                   resolved + "' (layer '" + target->name +
+                   "' is not a declared dependency)");
+      continue;
+    }
+    if (!target->public_headers.empty()) {
+      std::string within = resolved.substr(target->path.size() + 1);
+      bool is_public =
+          std::find(target->public_headers.begin(),
+                    target->public_headers.end(),
+                    within) != target->public_headers.end();
+      if (!is_public)
+        ctx.flag(lineno, "layer.private-header",
+                 "'" + resolved + "' is internal to layer '" + target->name +
+                     "' (public: its declared interface headers only)");
+    }
+  }
+}
+
+void check_determinism(FileContext& ctx, const std::vector<Token>& toks) {
+  static const std::set<std::string> kUnorderedTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static const std::set<std::string> kOrderedTypes = {
+      "map", "set", "multimap", "multiset", "less", "greater"};
+  static const std::set<std::string> kWallClock = {
+      "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+      "clock_gettime", "localtime", "gmtime"};
+  static const std::set<std::string> kRand = {"rand", "srand", "rand_r",
+                                             "drand48", "mrand48", "lrand48"};
+
+  // Pass 1: names declared as unordered containers in this file.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident || !kUnorderedTypes.count(toks[i].text)) continue;
+    std::size_t j = skip_template_args(toks, i + 1);
+    if (j > i + 1 && j < toks.size() && toks[j].ident)
+      unordered_names.insert(toks[j].text);
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tk = toks[i];
+    if (!tk.ident) continue;
+    const std::string& s = tk.text;
+
+    if (kRand.count(s) && tok_is(toks, i + 1, "(") && !member_access(toks, i)) {
+      ctx.flag(tk.line, "det.rand",
+               s + "() draws from ambient process state — use the seeded "
+                   "util::Rng streams");
+    }
+    if (s == "random_device") {
+      ctx.flag(tk.line, "det.random-device",
+               "std::random_device is nondeterministic — derive seeds from "
+               "the world seed");
+    }
+    if (kWallClock.count(s)) {
+      ctx.flag(tk.line, "det.wall-clock",
+               s + " reads the host clock — result-affecting code must use "
+                   "virtual time (util::TimePoint)");
+    }
+    if ((s == "time" || s == "clock") && tok_is(toks, i + 1, "(") &&
+        !member_access(toks, i)) {
+      // Allow `obj.time()` accessors and non-std qualified names; flag bare
+      // and std:: calls of the C library functions.
+      bool qualified = i >= 2 && toks[i - 1].text == ":" &&
+                       toks[i - 2].text == ":";
+      if (!qualified || std_qualified(toks, i))
+        ctx.flag(tk.line, "det.wall-clock",
+                 s + "() reads the host clock — use virtual time");
+    }
+    if ((s == "thread" || s == "jthread") && std_qualified(toks, i)) {
+      ctx.flag(tk.line, "det.thread",
+               "std::" + s + " in determinism scope — threads only in the "
+                             "sweep runner");
+    }
+    if (s == "async" && std_qualified(toks, i)) {
+      ctx.flag(tk.line, "det.thread",
+               "std::async in determinism scope — threads only in the sweep "
+               "runner");
+    }
+    if (s == "hardware_concurrency") {
+      ctx.flag(tk.line, "det.thread",
+               "hardware_concurrency() makes behaviour depend on the host — "
+               "take explicit job counts");
+    }
+    if (kOrderedTypes.count(s) && std_qualified(toks, i) &&
+        tok_is(toks, i + 1, "<")) {
+      // Inspect the first template argument; a trailing '*' means the
+      // container is keyed (or the comparator ordered) by pointer value.
+      int depth = 0;
+      std::string last;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "<") {
+          ++depth;
+          continue;
+        }
+        if (u == ">" && --depth == 0) break;
+        if (u == "," && depth == 1) break;
+        last = u;
+      }
+      if (last == "*")
+        ctx.flag(tk.line, "det.pointer-order",
+                 "std::" + s + " keyed by pointer — iteration order depends "
+                               "on allocation addresses");
+    }
+    if (s == "for" && tok_is(toks, i + 1, "(")) {
+      // Range-for over an unordered container: for (decl : expr).
+      int depth = 0;
+      std::size_t colon = 0, end = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "(") ++depth;
+        if (u == ")" && --depth == 0) {
+          end = j;
+          break;
+        }
+        if (u == ":" && depth == 1 && !tok_is(toks, j + 1, ":") &&
+            !(j > 0 && toks[j - 1].text == ":"))
+          if (!colon) colon = j;
+      }
+      if (colon && end) {
+        for (std::size_t j = colon + 1; j < end; ++j)
+          if (toks[j].ident && unordered_names.count(toks[j].text)) {
+            ctx.flag(toks[j].line, "det.unordered-iter",
+                     "range-for over unordered container '" + toks[j].text +
+                         "' — iteration order is unspecified");
+            break;
+          }
+      }
+    }
+    if ((s == "begin" || s == "end" || s == "cbegin" || s == "cend") &&
+        member_access(toks, i) && i >= 2 && toks[i - 2].ident &&
+        unordered_names.count(toks[i - 2].text)) {
+      ctx.flag(tk.line, "det.unordered-iter",
+               "iterating unordered container '" + toks[i - 2].text +
+                   "' — iteration order is unspecified");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+void analyze_file(const std::string& relative_path, const std::string& text,
+                  const Manifest& manifest, const fs::path& root,
+                  std::vector<Diagnostic>& out) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  FileContext ctx;
+  ctx.file = relative_path;
+  ctx.manifest = &manifest;
+  ctx.layer = layer_of(manifest, relative_path);
+  ctx.det = ctx.layer && manifest.deterministic(ctx.layer->name);
+  ctx.sups = collect_suppressions(relative_path, lines, out);
+
+  if (!ctx.layer) {
+    ctx.flag(1, "layer.unmapped",
+             "file is under no declared layer — add it to the manifest");
+  }
+
+  std::vector<std::string> code = strip_comments(lines);
+  check_includes(ctx, lines, code, root);
+  if (ctx.det) check_determinism(ctx, tokenize(code));
+
+  // Collapse duplicate (line, rule) findings — e.g. .begin() and .end() on
+  // the same loop line are one problem, not two.
+  {
+    std::set<std::pair<int, std::string>> seen;
+    std::vector<Diagnostic> unique;
+    for (Diagnostic& d : ctx.pending)
+      if (seen.insert({d.line, d.rule}).second) unique.push_back(std::move(d));
+    ctx.pending = std::move(unique);
+  }
+
+  // Apply suppressions: an allow on line L covers L and L+1.
+  for (Diagnostic& d : ctx.pending) {
+    for (Suppression& s : ctx.sups) {
+      if (s.rule != d.rule) continue;
+      if (d.line == s.line || d.line == s.line + 1) {
+        d.suppressed = true;
+        d.justification = s.justification;
+        s.used = true;
+        break;
+      }
+    }
+    out.push_back(d);
+  }
+  for (const Suppression& s : ctx.sups) {
+    if (!s.used)
+      out.push_back({relative_path, s.line, "meta.unused-suppression",
+                     "modcheck:allow(" + s.rule +
+                         ") matches no diagnostic — delete it",
+                     false, ""});
+  }
+}
+
+Report analyze(const fs::path& root, const Manifest& manifest) {
+  Report report;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& f : files) {
+    std::ifstream in(f);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string rel = fs::relative(f, root).generic_string();
+    analyze_file(rel, buf.str(), manifest, root, report.diagnostics);
+    ++report.files_scanned;
+  }
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return report;
+}
+
+std::size_t Report::violations() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (!d.suppressed) ++n;
+  return n;
+}
+
+std::size_t Report::suppressions() const {
+  return diagnostics.size() - violations();
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_json(const Report& report, const std::string& root) {
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"root\": \"" << json_escape(root)
+      << "\",\n  \"summary\": {\"files_scanned\": " << report.files_scanned
+      << ", \"violations\": " << report.violations()
+      << ", \"suppressed\": " << report.suppressions()
+      << "},\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << json_escape(d.file)
+        << "\", \"line\": " << d.line << ", \"rule\": \"" << d.rule
+        << "\", \"suppressed\": " << (d.suppressed ? "true" : "false");
+    if (d.suppressed)
+      out << ", \"justification\": \"" << json_escape(d.justification) << "\"";
+    out << ", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  out << (report.diagnostics.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+}  // namespace modcheck
