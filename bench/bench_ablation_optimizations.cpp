@@ -8,6 +8,7 @@
 // a specific figure.
 //
 // Flags: --n=3 --load=4000 --size=16384 --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-variant trace-derived metrics)
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -27,7 +28,7 @@ struct Variant {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n", "load", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "json", "jobs"});
+                     "quick", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
   const double load = flags.get_double("load", 4000);
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   wl.message_size = size;
   wl.warmup = util::from_seconds(bc.warmup_s);
   wl.measure = util::from_seconds(bc.measure_s);
+  wl.collect_metrics = !bc.trace_out.empty();
 
   const Variant variants[] = {
       {"mono (all on)", true, true, true},
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
                   r.bytes_per_consensus);
     if (i > 0) json_rows += ", ";
     json_rows += buf;
+    export_labeled_metrics(bc, "ablation_optimizations " + names[i], r);
   }
   if (flags.get("json", "") != "none") {
     write_json_result("ablation_optimizations",

@@ -8,6 +8,7 @@
 // while keeping the module structure.
 //
 // Flags: --n=3 --size=16384 --loads=... --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-point trace-derived metrics)
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -16,7 +17,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n", "size", "loads", "seeds", "warmup_s", "measure_s",
-                     "quick", "json", "jobs"});
+                     "quick", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
   const auto size = static_cast<std::size_t>(flags.get_int("size", 16384));
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
       pt.workload.message_size = size;
       pt.workload.warmup = util::from_seconds(bc.warmup_s);
       pt.workload.measure = util::from_seconds(bc.measure_s);
+      pt.workload.collect_metrics = !bc.trace_out.empty();
       pt.seeds = bc.seeds;
       points.push_back(pt);
     }
@@ -84,6 +86,10 @@ int main(int argc, char** argv) {
                     r.bytes_per_consensus);
       if (!json_rows.empty()) json_rows += ", ";
       json_rows += buf;
+      export_labeled_metrics(bc,
+                             "ext_indirect_consensus load=" +
+                                 std::to_string(loads[i]) + " " + rows[j].name,
+                             r);
     }
     std::printf("---------+--------------------+--------------+"
                 "----------------+-----------\n");

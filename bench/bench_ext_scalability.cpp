@@ -7,6 +7,7 @@
 // analytic data-overhead trend.
 //
 // Flags: --n_list=3,5,7,9 --load=4000 --size=8192 --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-point trace-derived metrics)
 #include "analysis/analytical_model.hpp"
 #include "bench_util.hpp"
 
@@ -16,7 +17,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n_list", "load", "size", "seeds", "warmup_s",
-                     "measure_s", "quick", "json", "jobs"});
+                     "measure_s", "quick", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list(
       "n_list", bc.quick ? std::vector<std::int64_t>{3, 7}
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     pt.workload.message_size = size;
     pt.workload.warmup = util::from_seconds(bc.warmup_s);
     pt.workload.measure = util::from_seconds(bc.measure_s);
+    pt.workload.collect_metrics = !bc.trace_out.empty();
     pt.seeds = bc.seeds;
     pt.stack.kind = core::StackKind::kModular;
     points.push_back(pt);
@@ -75,6 +77,9 @@ int main(int argc, char** argv) {
                   rn.latency_ms.mean, lat_gap, thr_gap);
     if (i > 0) json_rows += ", ";
     json_rows += buf;
+    const std::string nx = "ext_scalability n=" + std::to_string(n);
+    export_labeled_metrics(bc, nx + " modular", rm);
+    export_labeled_metrics(bc, nx + " monolithic", rn);
   }
   if (flags.get("json", "") != "none") {
     write_json_result("ext_scalability", "\"points\": [" + json_rows + "]",

@@ -7,6 +7,7 @@
 //  * the gap is negligible at low offered loads.
 //
 // Flags: --loads=... --size=16384 --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-point trace-derived metrics)
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -15,7 +16,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"loads", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv", "json", "jobs"});
+                     "quick", "csv", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "load");
   JsonWriter json(flags, "fig10_throughput_vs_load", "load", "throughput");
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
       std::printf(" | %-22s", util::format_ci(r.throughput, 0).c_str());
       csv.row(loads[i], curves[j], r.throughput);
       json.row(loads[i], curve_label(curves[j]), r.throughput);
+      export_point_metrics(bc, "fig10_throughput_vs_load", loads[i], curves[j],
+                           r);
     }
     std::printf("\n");
     std::fflush(stdout);

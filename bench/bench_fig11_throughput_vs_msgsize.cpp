@@ -9,6 +9,7 @@
 //    payloads goes to more processes), crossing below n=3.
 //
 // Flags: --sizes=... --load=2000 --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-point trace-derived metrics)
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -17,7 +18,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"sizes", "load", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv", "json", "jobs"});
+                     "quick", "csv", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "size");
   JsonWriter json(flags, "fig11_throughput_vs_msgsize", "size", "throughput");
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
       std::printf(" | %-22s", util::format_ci(r.throughput, 0).c_str());
       csv.row(sizes[i], curves[j], r.throughput);
       json.row(sizes[i], curve_label(curves[j]), r.throughput);
+      export_point_metrics(bc, "fig11_throughput_vs_msgsize", sizes[i],
+                           curves[j], r);
     }
     std::printf("\n");
     std::fflush(stdout);

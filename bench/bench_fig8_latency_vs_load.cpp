@@ -8,6 +8,7 @@
 //    load roughly constant).
 //
 // Flags: --loads=250,500,... --size=16384 --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-point trace-derived metrics)
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -16,7 +17,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"loads", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv", "json", "jobs"});
+                     "quick", "csv", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "load");
   JsonWriter json(flags, "fig8_latency_vs_load", "load", "latency_ms");
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
       std::printf(" | %-22s", util::format_ci(r.latency_ms, 2).c_str());
       csv.row(loads[i], curves[j], r.latency_ms);
       json.row(loads[i], curve_label(curves[j]), r.latency_ms);
+      export_point_metrics(bc, "fig8_latency_vs_load", loads[i], curves[j], r);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -7,6 +7,7 @@
 //  * with the largest messages the gap narrows to 25% (n=7) / 35% (n=3).
 //
 // Flags: --sizes=64,128,... --load=2000 --seeds=N --jobs=N --quick
+//        --trace-out=<path.jsonl> (per-point trace-derived metrics)
 #include "bench_util.hpp"
 
 using namespace modcast;
@@ -15,7 +16,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"sizes", "load", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv", "json", "jobs"});
+                     "quick", "csv", "json", "jobs", "trace-out"});
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "size");
   JsonWriter json(flags, "fig9_latency_vs_msgsize", "size", "latency_ms");
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
       std::printf(" | %-22s", util::format_ci(r.latency_ms, 2).c_str());
       csv.row(sizes[i], curves[j], r.latency_ms);
       json.row(sizes[i], curve_label(curves[j]), r.latency_ms);
+      export_point_metrics(bc, "fig9_latency_vs_msgsize", sizes[i], curves[j],
+                           r);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -7,6 +7,11 @@
 // monolithic 4.
 //
 // Flags: --n_list=3,5,7 --size=1024 --seeds=N --jobs=N --quick
+//        --validate --trace-out=<path.jsonl>
+//
+// --validate additionally runs the drained-good-run cross-validation: the
+// trace-derived per-instance counts must equal the analytical model EXACTLY
+// (exit 1 on any mismatch).
 #include "analysis/analytical_model.hpp"
 #include "bench_util.hpp"
 
@@ -16,10 +21,18 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n_list", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "json", "jobs"});
+                     "quick", "json", "jobs", "validate", "trace-out"});
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list("n_list", {3, 5, 7});
   const auto size = static_cast<std::size_t>(flags.get_int("size", 1024));
+
+  if (flags.get_bool("validate", false)) {
+    std::vector<std::size_t> ns;
+    for (std::int64_t n : n_list) ns.push_back(static_cast<std::size_t>(n));
+    const bool ok = run_validation_suite(bc, "table_msgcount", ns, size);
+    std::printf("model cross-validation: %s\n", ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
+  }
 
   std::vector<workload::SweepPoint> points;
   for (std::int64_t n : n_list) {
@@ -29,6 +42,7 @@ int main(int argc, char** argv) {
     pt.workload.message_size = size;
     pt.workload.warmup = util::from_seconds(bc.warmup_s);
     pt.workload.measure = util::from_seconds(bc.measure_s);
+    pt.workload.collect_metrics = !bc.trace_out.empty();
     pt.seeds = bc.seeds;
     pt.stack.kind = core::StackKind::kModular;
     pt.stack.max_batch = 4;
@@ -52,6 +66,12 @@ int main(int argc, char** argv) {
     const std::int64_t n = n_list[i];
     const auto& rm = results[2 * i];
     const auto& rn = results[2 * i + 1];
+    export_point_metrics(bc, "table_msgcount", n,
+                         {static_cast<std::size_t>(n),
+                          core::StackKind::kModular}, rm);
+    export_point_metrics(bc, "table_msgcount", n,
+                         {static_cast<std::size_t>(n),
+                          core::StackKind::kMonolithic}, rn);
 
     const auto paper_mod = analysis::modular_messages_per_consensus(
         static_cast<std::uint64_t>(n), 4);

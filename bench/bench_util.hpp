@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "core/abcast_process.hpp"
+#include "metrics/metrics.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "workload/sweep.hpp"
+#include "workload/validation.hpp"
 
 namespace modcast::bench {
 
@@ -37,6 +39,9 @@ struct BenchConfig {
   double measure_s = 3.0;
   bool quick = false;
   std::size_t jobs = 0;  ///< sweep parallelism; 0 = hardware concurrency
+  /// --trace-out=<path>: append every measured point's trace-derived
+  /// GroupMetrics to <path> as JSONL. Empty = metrics collection off.
+  std::string trace_out;
 };
 
 inline BenchConfig bench_config(const util::Flags& flags) {
@@ -47,6 +52,7 @@ inline BenchConfig bench_config(const util::Flags& flags) {
   cfg.warmup_s = flags.get_double("warmup_s", cfg.quick ? 1.0 : 1.5);
   cfg.measure_s = flags.get_double("measure_s", cfg.quick ? 1.5 : 3.0);
   cfg.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
+  cfg.trace_out = flags.get("trace-out", "");
   return cfg;
 }
 
@@ -61,8 +67,60 @@ inline workload::SweepPoint sweep_point(const Curve& curve,
   pt.workload.message_size = message_size;
   pt.workload.warmup = util::from_seconds(bc.warmup_s);
   pt.workload.measure = util::from_seconds(bc.measure_s);
+  pt.workload.collect_metrics = !bc.trace_out.empty();
   pt.seeds = bc.seeds;
   return pt;
+}
+
+/// Appends one point's metrics to the --trace-out JSONL file under an
+/// arbitrary label (no-op when the flag is unset). For benches whose points
+/// are not (x, curve) pairs: ablation variants, validation runs, etc.
+inline void export_labeled_metrics(const BenchConfig& bc,
+                                   const std::string& label,
+                                   const workload::AggregateResult& agg) {
+  if (bc.trace_out.empty()) return;
+  metrics::append_jsonl(bc.trace_out, agg.metrics.to_jsonl(label));
+}
+
+/// Appends one point's metrics to the --trace-out JSONL file (no-op when the
+/// flag is unset). Call once per measured (x, curve) point.
+inline void export_point_metrics(const BenchConfig& bc,
+                                 const std::string& bench, std::int64_t x,
+                                 const Curve& curve,
+                                 const workload::AggregateResult& agg) {
+  if (bc.trace_out.empty()) return;
+  export_labeled_metrics(
+      bc, bench + " x=" + std::to_string(x) + " " + curve_label(curve), agg);
+}
+
+/// The §5.2 runtime cross-validation behind the table benches' --validate
+/// mode: drained good runs for both stacks at each n, checked EXACTLY
+/// against analysis::analytical_model. Prints one verdict per run and
+/// returns false on any mismatch. Honors --trace-out.
+inline bool run_validation_suite(const BenchConfig& bc,
+                                 const std::string& bench,
+                                 const std::vector<std::size_t>& ns,
+                                 std::size_t message_size) {
+  bool all_ok = true;
+  for (std::size_t n : ns) {
+    for (core::StackKind kind :
+         {core::StackKind::kMonolithic, core::StackKind::kModular}) {
+      workload::ValidationConfig vc;
+      vc.n = n;
+      vc.kind = kind;
+      vc.message_size = message_size;
+      const auto r = workload::run_model_validation(vc);
+      std::printf("validate n=%zu %-10s %s\n", n, core::to_string(kind),
+                  r.describe().c_str());
+      if (!bc.trace_out.empty()) {
+        const std::string label = bench + " validate n=" + std::to_string(n) +
+                                  " " + core::to_string(kind);
+        metrics::append_jsonl(bc.trace_out, r.metrics.to_jsonl(label));
+      }
+      all_ok = all_ok && r.ok();
+    }
+  }
+  return all_ok;
 }
 
 inline workload::AggregateResult run_point(const Curve& curve,

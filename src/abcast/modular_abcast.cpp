@@ -10,6 +10,12 @@ namespace {
 constexpr std::uint8_t kDiffuse = 1;
 constexpr std::uint8_t kPayloadPull = 2;  ///< indirect: ids whose payloads we need
 constexpr std::uint8_t kPayloadPush = 3;  ///< indirect: requested payloads
+
+std::size_t batch_app_bytes(const std::vector<AppMessage>& batch) {
+  std::size_t bytes = 0;
+  for (const AppMessage& m : batch) bytes += m.payload.size();
+  return bytes;
+}
 }
 
 void ModularAbcast::init(framework::Stack& stack) {
@@ -39,6 +45,7 @@ void ModularAbcast::on_propose_request(std::uint64_t k) {
     batch.push_back(m);
   }
   next_instance_ = std::max(next_instance_, k + 1);
+  framework::TraceScope scope(*stack_, k, batch_app_bytes(batch));
   stack_->raise(framework::Event::local(
       framework::kEvPropose,
       framework::ConsensusValueBody{k, encode_value(batch)}));
@@ -78,6 +85,9 @@ void ModularAbcast::diffuse(const AppMessage& m) {
   util::ByteWriter w(m.payload.size() + 24);
   w.u8(kDiffuse);
   encode_message(w, m);
+  // Diffusion belongs to no consensus instance but carries one app payload.
+  framework::TraceScope scope(*stack_, framework::kNoInstance,
+                              m.payload.size());
   stack_->send_wire_to_others(framework::kModAbcast, w.take());
 }
 
@@ -159,6 +169,9 @@ void ModularAbcast::maybe_propose() {
   if (batch.empty()) return;
 
   const std::uint64_t k = next_instance_++;
+  // Synchronous raise: the scope also covers the consensus module's
+  // round-1 proposal fan-out if this process coordinates k.
+  framework::TraceScope scope(*stack_, k, batch_app_bytes(batch));
   stack_->raise(framework::Event::local(
       framework::kEvPropose,
       framework::ConsensusValueBody{k, encode_value(batch)}));

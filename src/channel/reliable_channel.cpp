@@ -29,8 +29,9 @@ void ReliableChannel::send(util::ProcessId to, util::Payload msg) {
   Peer& peer = peers_.at(to);
   const std::uint32_t seq = peer.next_seq++;
   peer.unacked.emplace(seq, msg);
-  transmit(to, seq, msg);
   ++stats_.data_sent;
+  stats_.data_bytes_sent += msg.size();
+  transmit(to, seq, msg);
   arm_rto(to);
 }
 
@@ -164,8 +165,9 @@ void ReliableChannel::arm_rto(util::ProcessId to) {
     std::size_t burst = 0;
     for (const auto& [seq, payload] : peer.unacked) {
       if (++burst > config_.retransmit_burst) break;
-      transmit(to, seq, payload);
       ++stats_.retransmissions;
+      stats_.retransmit_bytes += payload.size();
+      transmit(to, seq, payload);
     }
     // The burst drew no ack inside the timeout: back off before injecting
     // another copy, or retransmissions outpace the round trip and collapse

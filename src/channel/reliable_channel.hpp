@@ -41,7 +41,9 @@ struct ChannelConfig {
 
 struct ChannelStats {
   std::uint64_t data_sent = 0;
+  std::uint64_t data_bytes_sent = 0;  ///< upper-layer bytes in first copies
   std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_bytes = 0;  ///< upper-layer bytes retransmitted
   std::uint64_t acks_sent = 0;
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t out_of_order_buffered = 0;

@@ -116,6 +116,7 @@ void ChandraTouegConsensus::propose(std::uint64_t k, util::Bytes value) {
         w.u8(kNack);
         w.u64(k);
         w.u32(1);
+        framework::TraceScope scope(*stack_, k, 0);
         stack_->send_wire(coordinator(1), framework::kModConsensus,
                           w.take());
         ++stats_.nacks_sent;
@@ -147,6 +148,7 @@ void ChandraTouegConsensus::arm_nudge(Instance& inst) {
         w.u32(1);
         w.u32(inst.estimate_ts);
         w.blob(inst.estimate);
+        framework::TraceScope scope(*stack_, k, 0);
         stack_->send_wire(coordinator(1), framework::kModConsensus, w.take());
         ++stats_.nudges_sent;
         arm_nudge(inst);  // keep nudging until the proposal shows up
@@ -155,6 +157,11 @@ void ChandraTouegConsensus::arm_nudge(Instance& inst) {
 
 void ChandraTouegConsensus::do_propose(Instance& inst, std::uint32_t round,
                                        util::Bytes value) {
+  // In the good-run path this runs inside the abcast module's propose scope,
+  // which already annotated instance k and the batch's app-payload bytes;
+  // keeping app_bytes inherits that for the proposal fan-out. Recovery-round
+  // proposals arrive with no enclosing scope and stay at app_bytes 0.
+  framework::TraceScope scope(*stack_, inst.k, framework::TraceScope::kKeepAppBytes);
   inst.proposed_rounds.insert(round);
   inst.proposals[round] = value;
   inst.estimate = value;
@@ -182,6 +189,7 @@ void ChandraTouegConsensus::send_estimate(Instance& inst, std::uint32_t round,
   w.u32(round);
   w.u32(inst.estimate_ts);
   w.blob(inst.estimate);
+  framework::TraceScope scope(*stack_, inst.k, 0);
   stack_->send_wire(coord, framework::kModConsensus, w.take());
 }
 
@@ -205,6 +213,7 @@ void ChandraTouegConsensus::advance_round(Instance& inst) {
     w.u8(kNack);
     w.u64(inst.k);
     w.u32(inst.round);
+    framework::TraceScope scope(*stack_, inst.k, 0);
     stack_->send_wire(c, framework::kModConsensus, w.take());
     ++stats_.nacks_sent;
     inst.nacked_rounds.insert(inst.round);
@@ -243,6 +252,7 @@ void ChandraTouegConsensus::check_estimates(Instance& inst,
       w.u8(kSolicit);
       w.u64(inst.k);
       w.u32(round);
+      framework::TraceScope scope(*stack_, inst.k, 0);
       stack_->send_wire_to_others(framework::kModConsensus, w.take());
     }
     return;
@@ -275,6 +285,7 @@ void ChandraTouegConsensus::on_solicit(util::ProcessId from, std::uint64_t k,
     w.u8(kFull);
     w.u64(k);
     w.blob(dit->second);
+    framework::TraceScope scope(*stack_, k, 0);
     stack_->send_wire(from, framework::kModConsensus, w.take());
     return;
   }
@@ -318,6 +329,9 @@ void ChandraTouegConsensus::broadcast_decision(Instance& inst,
   }
   // Hand the decision to the reliable broadcast module. Local rdelivery is
   // synchronous, so this call chain ends in decide_local() for ourselves.
+  // The scope annotates the rbcast module's initial fan-out with instance k
+  // (decisions carry no app payload, hence app_bytes 0).
+  framework::TraceScope scope(*stack_, inst.k, 0);
   stack_->raise(framework::Event::local(framework::kEvRbcast,
                                         framework::RbcastBody{w.take()}));
 }
@@ -364,7 +378,10 @@ void ChandraTouegConsensus::start_pull(Instance& inst) {
   util::ByteWriter w(16);
   w.u8(kPull);
   w.u64(inst.k);
-  stack_->send_wire_to_others(framework::kModConsensus, w.take());
+  {
+    framework::TraceScope scope(*stack_, inst.k, 0);
+    stack_->send_wire_to_others(framework::kModConsensus, w.take());
+  }
   stats_.pulls_sent += stack_->group_size() - 1;
 
   const std::uint64_t k = inst.k;
@@ -465,6 +482,7 @@ void ChandraTouegConsensus::on_proposal(util::ProcessId from, std::uint64_t k,
       w.u8(kNack);
       w.u64(k);
       w.u32(round);
+      framework::TraceScope scope(*stack_, k, 0);
       stack_->send_wire(from, framework::kModConsensus, w.take());
       ++stats_.nacks_sent;
     }
@@ -481,7 +499,10 @@ void ChandraTouegConsensus::on_proposal(util::ProcessId from, std::uint64_t k,
     w.u8(kNack);
     w.u64(k);
     w.u32(round);
-    stack_->send_wire(from, framework::kModConsensus, w.take());
+    {
+      framework::TraceScope scope(*stack_, k, 0);
+      stack_->send_wire(from, framework::kModConsensus, w.take());
+    }
     ++stats_.nacks_sent;
     inst.nacked_rounds.insert(round);
     advance_round(inst);
@@ -510,6 +531,7 @@ void ChandraTouegConsensus::adopt_and_ack(Instance& inst,
   w.u8(kAck);
   w.u64(inst.k);
   w.u32(round);
+  framework::TraceScope scope(*stack_, inst.k, 0);
   stack_->send_wire(coordinator(round), framework::kModConsensus, w.take());
 }
 
@@ -573,6 +595,7 @@ void ChandraTouegConsensus::on_pull(util::ProcessId from, std::uint64_t k) {
   w.u8(kFull);
   w.u64(k);
   w.blob(it->second);
+  framework::TraceScope scope(*stack_, k, 0);
   stack_->send_wire(from, framework::kModConsensus, w.take());
 }
 
@@ -622,7 +645,10 @@ void ChandraTouegConsensus::on_suspect(util::ProcessId q) {
     w.u8(kNack);
     w.u64(k);
     w.u32(inst.round);
-    stack_->send_wire(q, framework::kModConsensus, w.take());
+    {
+      framework::TraceScope scope(*stack_, k, 0);
+      stack_->send_wire(q, framework::kModConsensus, w.take());
+    }
     ++stats_.nacks_sent;
     inst.nacked_rounds.insert(inst.round);
     advance_round(inst);

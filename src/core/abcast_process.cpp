@@ -49,6 +49,7 @@ AbcastProcess::AbcastProcess(runtime::Runtime& rt, StackOptions options)
     cfg.max_batch = options.max_batch;
     cfg.liveness_timeout = options.liveness_timeout;
     cfg.instance_overhead = options.instance_overhead;
+    cfg.forward_flush_delay = options.forward_flush_delay;
     cfg.opt_combine = options.opt_combine;
     cfg.opt_piggyback = options.opt_piggyback;
     cfg.opt_cheap_decision = options.opt_cheap_decision;

@@ -60,6 +60,11 @@ struct StackOptions {
   rbcast::RbcastConfig rbcast;
   consensus::ConsensusConfig consensus;
   util::Duration liveness_timeout = util::milliseconds(500);
+  /// Monolithic only: how long a non-coordinator waits before flushing its
+  /// outbox as a standalone forward (see MonolithicConfig). Validation runs
+  /// raise it so burst workloads never flush before the combined proposal
+  /// arrives.
+  util::Duration forward_flush_delay = util::microseconds(200);
   /// Fixed per-consensus-instance CPU cost at every process (both stacks);
   /// see abcast::AbcastConfig::instance_overhead.
   util::Duration instance_overhead = util::microseconds(2500);

@@ -35,6 +35,10 @@ SimGroup::SimGroup(SimGroupConfig config) : config_(config) {
       rt = channeled_rts_.back().get();
     }
     auto proc = std::make_unique<AbcastProcess>(*rt, config.stack);
+    if (config.collect_metrics) {
+      metrics_.push_back(std::make_unique<metrics::MetricsRegistry>());
+      proc->stack().set_tracer(metrics_.back()->sink());
+    }
     // The group owns both stack callbacks: it feeds the checker, the
     // delivery log, and whatever observers are registered, in that order.
     proc->set_deliver_handler([this, p](util::ProcessId origin,
@@ -60,6 +64,30 @@ SimGroup::SimGroup(SimGroupConfig config) : config_(config) {
     }
     procs_.push_back(std::move(proc));
   }
+}
+
+metrics::GroupMetrics SimGroup::collect_metrics() const {
+  metrics::GroupMetrics gm;
+  for (const auto& reg : metrics_) reg->merge_into(gm);
+  const auto n = static_cast<util::ProcessId>(procs_.size());
+  for (util::ProcessId p = 0; p < n; ++p) {
+    gm.timer_arms += world_->timer_arms(p);
+    if (!channels_.empty()) {
+      const auto& cs = channels_.at(p)->stats();
+      gm.retransmissions += cs.retransmissions;
+      gm.retransmit_bytes += cs.retransmit_bytes;
+      gm.channel_data_sent += cs.data_sent;
+      gm.channel_acks_sent += cs.acks_sent;
+      gm.channel_duplicates_dropped += cs.duplicates_dropped;
+    }
+  }
+  const auto& net = world_->network().total();
+  gm.net_messages = net.messages;
+  gm.net_payload_bytes = net.payload_bytes;
+  gm.net_wire_bytes = net.wire_bytes;
+  gm.net_dropped_messages = net.dropped_messages;
+  gm.net_dropped_bytes = net.dropped_bytes;
+  return gm;
 }
 
 void SimGroup::start() {

@@ -12,6 +12,7 @@
 #include "channel/reliable_channel.hpp"
 #include "core/abcast_process.hpp"
 #include "faults/safety_checker.hpp"
+#include "metrics/metrics.hpp"
 #include "runtime/sim_world.hpp"
 #include "util/rng.hpp"
 
@@ -52,6 +53,12 @@ struct SimGroupConfig {
   /// watchdog. Query it via safety_report() after the run.
   bool safety_check = false;
   faults::SafetyConfig safety;
+
+  /// Installs a MetricsRegistry tracer on every stack. Purely observational:
+  /// the event order and all protocol behavior are unchanged (the Stack
+  /// charges crossing costs with or without a tracer). Query per-process
+  /// registries via metrics(p) or the merged view via collect_metrics().
+  bool collect_metrics = false;
 };
 
 class SimGroup {
@@ -119,6 +126,14 @@ class SimGroup {
     return channels_.empty() ? nullptr : channels_.at(p).get();
   }
 
+  /// Metrics registry of process p (null unless collect_metrics).
+  metrics::MetricsRegistry* metrics(util::ProcessId p) {
+    return metrics_.empty() ? nullptr : metrics_.at(p).get();
+  }
+  /// Merged group snapshot: all registries plus the below-stack counters
+  /// (channel stats, network volume, timer arms). Requires collect_metrics.
+  metrics::GroupMetrics collect_metrics() const;
+
  private:
   void arm_watchdog();
 
@@ -127,6 +142,7 @@ class SimGroup {
   std::vector<std::unique_ptr<channel::ReliableChannel>> channels_;
   std::vector<std::unique_ptr<channel::ChanneledRuntime>> channeled_rts_;
   std::vector<std::unique_ptr<AbcastProcess>> procs_;
+  std::vector<std::unique_ptr<metrics::MetricsRegistry>> metrics_;
   std::vector<std::vector<DeliveryRecord>> deliveries_;
   std::vector<std::vector<util::Bytes>> payloads_;
   std::unique_ptr<faults::SafetyChecker> checker_;

@@ -26,7 +26,9 @@ void Stack::raise(Event event) {
   if (event.type >= bindings_.size() || bindings_[event.type].empty()) return;
   if (tracer_) {
     tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kLocalEvent,
-                        event.type, util::kInvalidProcess, 0});
+                        event.type, util::kInvalidProcess, 0,
+                        trace_ctx_.instance, trace_ctx_.app_bytes,
+                        trace_ctx_.flags});
   }
   for (auto& handler : bindings_[event.type]) {
     ++counters_.local_events;
@@ -52,7 +54,8 @@ void Stack::send_framed(util::ProcessId to, ModuleId module_id,
   wc.bytes_sent += payload_size + 1;
   if (tracer_) {
     tracer_(TraceRecord{rt_->now(), rt_->self(), TraceKind::kWireSend,
-                        module_id, to, payload_size});
+                        module_id, to, payload_size, trace_ctx_.instance,
+                        trace_ctx_.app_bytes, trace_ctx_.flags});
   }
   if (crossing_cost_ > 0) rt_->charge_cpu(crossing_cost_);
   rt_->send(to, framed);

@@ -105,6 +105,16 @@ class Stack final : public runtime::Protocol {
   /// when off.
   void set_tracer(TraceSink sink) { tracer_ = std::move(sink); }
 
+  /// Ambient annotation stamped into every trace record emitted while it is
+  /// current: which consensus instance the traffic belongs to and how many
+  /// application-payload bytes it carries. Managed by TraceScope.
+  struct TraceContext {
+    std::uint64_t instance = kNoInstance;
+    std::size_t app_bytes = 0;
+    std::uint8_t flags = 0;
+  };
+  const TraceContext& trace_context() const { return trace_ctx_; }
+
   // runtime::Protocol
   void start() override;
   void on_message(util::ProcessId from, util::Payload msg) override;
@@ -128,6 +138,38 @@ class Stack final : public runtime::Protocol {
   StackCounters counters_;
   std::array<ModuleWireCounters, 256> wire_counters_{};
   TraceSink tracer_;
+  TraceContext trace_ctx_;
+
+  friend class TraceScope;
+};
+
+/// RAII annotation scope: trace records emitted while a scope is alive carry
+/// its instance/app-byte/flag annotations. Scopes nest; the destructor
+/// restores whatever was current. Because event dispatch (Stack::raise) is
+/// synchronous, a scope opened around raise() also covers the wire sends the
+/// handlers make — abcast can annotate consensus traffic, consensus can
+/// annotate rbcast traffic — without any module knowing about the others.
+/// Purely observational: no effect on protocol behavior or simulated cost.
+class TraceScope {
+ public:
+  /// Sentinel for app_bytes: inherit the enclosing scope's value.
+  static constexpr std::size_t kKeepAppBytes = ~std::size_t{0};
+
+  TraceScope(Stack& stack, std::uint64_t instance,
+             std::size_t app_bytes = kKeepAppBytes, std::uint8_t flags = 0)
+      : stack_(&stack), saved_(stack.trace_ctx_) {
+    stack.trace_ctx_.instance = instance;
+    if (app_bytes != kKeepAppBytes) stack.trace_ctx_.app_bytes = app_bytes;
+    stack.trace_ctx_.flags |= flags;
+  }
+  ~TraceScope() { stack_->trace_ctx_ = saved_; }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Stack* stack_;
+  Stack::TraceContext saved_;
 };
 
 }  // namespace modcast::framework

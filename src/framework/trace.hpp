@@ -24,6 +24,13 @@ enum class TraceKind : std::uint8_t {
   kWireDeliver,  ///< code = ModuleId, peer = sender
 };
 
+/// "This record belongs to no consensus instance" (diffusion, FD traffic,
+/// standalone forwards, rbcast relays).
+inline constexpr std::uint64_t kNoInstance = ~std::uint64_t{0};
+
+/// TraceRecord::flags bits.
+inline constexpr std::uint8_t kTraceFlagRelay = 0x1;  ///< rbcast/decision relay
+
 struct TraceRecord {
   util::TimePoint at = 0;
   util::ProcessId process = util::kInvalidProcess;
@@ -31,9 +38,28 @@ struct TraceRecord {
   std::uint16_t code = 0;
   util::ProcessId peer = util::kInvalidProcess;
   std::size_t size = 0;  ///< payload bytes (wire records)
+
+  // Ambient annotations stamped from the emitting Stack's TraceScope (see
+  // stack.hpp). Purely observational: they attribute a record to a consensus
+  // instance and say how many application-payload bytes ride in it, without
+  // touching the wire format.
+  std::uint64_t instance = kNoInstance;
+  std::size_t app_bytes = 0;  ///< application payload bytes carried
+  std::uint8_t flags = 0;     ///< kTraceFlag* bits
 };
 
 using TraceSink = std::function<void(const TraceRecord&)>;
+
+/// Fans one record out to two sinks (e.g. a RingTrace for debugging plus a
+/// metrics registry). Either side may be empty.
+inline TraceSink tee_sink(TraceSink a, TraceSink b) {
+  if (!a) return b;
+  if (!b) return a;
+  return [a = std::move(a), b = std::move(b)](const TraceRecord& rec) {
+    a(rec);
+    b(rec);
+  };
+}
 
 /// Bounded in-memory trace: keeps the most recent `capacity` records.
 class RingTrace {
@@ -52,7 +78,10 @@ class RingTrace {
 
   const std::deque<TraceRecord>& records() const { return records_; }
   std::uint64_t total() const { return total_; }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    total_ = 0;
+  }
 
   /// Count of retained records matching a kind (and optional code).
   std::size_t count(TraceKind kind, int code = -1) const {

@@ -1,0 +1,159 @@
+#include "metrics/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "framework/event.hpp"
+
+namespace modcast::metrics {
+
+void MetricsRegistry::record(const framework::TraceRecord& rec) {
+  ModuleCounters& mc = modules_[rec.code & 0xff];
+  switch (rec.kind) {
+    case framework::TraceKind::kLocalEvent:
+      // code is an EventType here, not a module id; only the stack-level
+      // total is meaningful. (Event-type histograms live in RingTrace.)
+      ++local_events_;
+      return;
+    case framework::TraceKind::kWireDeliver:
+      ++mc.msgs_received;
+      return;
+    case framework::TraceKind::kWireSend:
+      break;
+  }
+  ++wire_sends_;
+  ++mc.msgs_sent;
+  mc.payload_bytes_sent += rec.size;
+  mc.header_bytes_sent += 1;  // module framing byte (Stack::frame)
+  mc.app_bytes_sent += rec.app_bytes;
+  if (rec.flags & framework::kTraceFlagRelay) ++mc.relays;
+  if (rec.instance == framework::kNoInstance) {
+    ++untagged_sends_;
+  } else {
+    InstanceCounters& ic = instances_[rec.instance];
+    ++ic.msgs_sent;
+    ic.payload_bytes_sent += rec.size;
+    ic.app_bytes_sent += rec.app_bytes;
+  }
+}
+
+void MetricsRegistry::merge_into(GroupMetrics& gm) const {
+  for (std::size_t id = 0; id < modules_.size(); ++id) {
+    if (!modules_[id].empty()) {
+      gm.modules[static_cast<std::uint16_t>(id)] += modules_[id];
+    }
+  }
+  for (const auto& [k, ic] : instances_) gm.instances[k] += ic;
+  gm.local_events += local_events_;
+  gm.wire_sends += wire_sends_;
+  gm.untagged_sends += untagged_sends_;
+}
+
+void MetricsRegistry::clear() {
+  modules_.fill(ModuleCounters{});
+  instances_.clear();
+  samples_.clear();
+  local_events_ = 0;
+  wire_sends_ = 0;
+  untagged_sends_ = 0;
+}
+
+GroupMetrics& GroupMetrics::operator+=(const GroupMetrics& o) {
+  for (const auto& [id, mc] : o.modules) modules[id] += mc;
+  for (const auto& [k, ic] : o.instances) instances[k] += ic;
+  local_events += o.local_events;
+  wire_sends += o.wire_sends;
+  untagged_sends += o.untagged_sends;
+  timer_arms += o.timer_arms;
+  retransmissions += o.retransmissions;
+  retransmit_bytes += o.retransmit_bytes;
+  channel_data_sent += o.channel_data_sent;
+  channel_acks_sent += o.channel_acks_sent;
+  channel_duplicates_dropped += o.channel_duplicates_dropped;
+  net_messages += o.net_messages;
+  net_payload_bytes += o.net_payload_bytes;
+  net_wire_bytes += o.net_wire_bytes;
+  net_dropped_messages += o.net_dropped_messages;
+  net_dropped_bytes += o.net_dropped_bytes;
+  return *this;
+}
+
+const char* module_name(std::uint16_t module_id) {
+  switch (module_id) {
+    case framework::kModAbcast: return "abcast";
+    case framework::kModConsensus: return "consensus";
+    case framework::kModRbcast: return "rbcast";
+    case framework::kModFd: return "fd";
+    case framework::kModMonolithic: return "monolithic";
+    default: return "other";
+  }
+}
+
+namespace {
+
+void json_kv(std::ostringstream& os, const char* key, std::uint64_t v,
+             bool* first) {
+  if (!*first) os << ",";
+  *first = false;
+  os << "\"" << key << "\":" << v;
+}
+
+}  // namespace
+
+std::string GroupMetrics::to_jsonl(const std::string& label) const {
+  std::ostringstream os;
+  os << "{\"label\":\"" << label << "\",\"modules\":{";
+  bool first_mod = true;
+  for (const auto& [id, mc] : modules) {
+    if (!first_mod) os << ",";
+    first_mod = false;
+    os << "\"" << module_name(id) << "\":{";
+    bool f = true;
+    json_kv(os, "msgs_sent", mc.msgs_sent, &f);
+    json_kv(os, "msgs_received", mc.msgs_received, &f);
+    json_kv(os, "payload_bytes_sent", mc.payload_bytes_sent, &f);
+    json_kv(os, "header_bytes_sent", mc.header_bytes_sent, &f);
+    json_kv(os, "app_bytes_sent", mc.app_bytes_sent, &f);
+    json_kv(os, "relays", mc.relays, &f);
+    os << "}";
+  }
+  os << "},\"instances\":{";
+  bool first_inst = true;
+  for (const auto& [k, ic] : instances) {
+    if (!first_inst) os << ",";
+    first_inst = false;
+    os << "\"" << k << "\":{";
+    bool f = true;
+    json_kv(os, "msgs_sent", ic.msgs_sent, &f);
+    json_kv(os, "payload_bytes_sent", ic.payload_bytes_sent, &f);
+    json_kv(os, "app_bytes_sent", ic.app_bytes_sent, &f);
+    os << "}";
+  }
+  os << "}";
+  bool f = false;  // the label field already opened the object
+  json_kv(os, "local_events", local_events, &f);
+  json_kv(os, "wire_sends", wire_sends, &f);
+  json_kv(os, "untagged_sends", untagged_sends, &f);
+  json_kv(os, "timer_arms", timer_arms, &f);
+  json_kv(os, "retransmissions", retransmissions, &f);
+  json_kv(os, "retransmit_bytes", retransmit_bytes, &f);
+  json_kv(os, "channel_data_sent", channel_data_sent, &f);
+  json_kv(os, "channel_acks_sent", channel_acks_sent, &f);
+  json_kv(os, "channel_duplicates_dropped", channel_duplicates_dropped, &f);
+  json_kv(os, "net_messages", net_messages, &f);
+  json_kv(os, "net_payload_bytes", net_payload_bytes, &f);
+  json_kv(os, "net_wire_bytes", net_wire_bytes, &f);
+  json_kv(os, "net_dropped_messages", net_dropped_messages, &f);
+  json_kv(os, "net_dropped_bytes", net_dropped_bytes, &f);
+  os << "}";
+  return os.str();
+}
+
+bool append_jsonl(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << line << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace modcast::metrics

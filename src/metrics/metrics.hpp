@@ -1,0 +1,151 @@
+// Trace-derived protocol metrics.
+//
+// A MetricsRegistry is a TraceSink: install its sink() on a Stack (possibly
+// tee'd with a RingTrace) and it turns the boundary-crossing record stream
+// into per-module and per-consensus-instance counters — the measured side of
+// the paper's §5.2 message-count and data-volume tables. GroupMetrics is the
+// deployment-wide snapshot: per-process registries merged, plus the
+// counters that live below the Stack (channel retransmissions, network
+// volume, timer arms) pulled in by whoever owns those layers (SimGroup).
+//
+// Everything here is passive and deterministic: installing a registry never
+// changes protocol behavior or event order (the Stack charges crossing costs
+// whether or not a tracer is attached), and aggregation iterates ordered
+// containers only, so equal runs produce byte-equal exports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "framework/trace.hpp"
+#include "util/stats.hpp"
+
+namespace modcast::metrics {
+
+/// Counters for one module id (framework::kMod*).
+struct ModuleCounters {
+  std::uint64_t events = 0;         ///< local event dispatches
+  std::uint64_t msgs_sent = 0;      ///< wire sends
+  std::uint64_t msgs_received = 0;  ///< wire deliveries
+  std::uint64_t payload_bytes_sent = 0;  ///< module payload bytes (unframed)
+  std::uint64_t header_bytes_sent = 0;   ///< framing header bytes (1/send)
+  std::uint64_t app_bytes_sent = 0;  ///< application payload bytes attributed
+  std::uint64_t relays = 0;          ///< sends flagged kTraceFlagRelay
+
+  ModuleCounters& operator+=(const ModuleCounters& o) {
+    events += o.events;
+    msgs_sent += o.msgs_sent;
+    msgs_received += o.msgs_received;
+    payload_bytes_sent += o.payload_bytes_sent;
+    header_bytes_sent += o.header_bytes_sent;
+    app_bytes_sent += o.app_bytes_sent;
+    relays += o.relays;
+    return *this;
+  }
+  friend bool operator==(const ModuleCounters&,
+                         const ModuleCounters&) = default;
+  bool empty() const { return *this == ModuleCounters{}; }
+};
+
+/// Wire sends attributed to one consensus instance (TraceScope-tagged).
+struct InstanceCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t app_bytes_sent = 0;
+
+  InstanceCounters& operator+=(const InstanceCounters& o) {
+    msgs_sent += o.msgs_sent;
+    payload_bytes_sent += o.payload_bytes_sent;
+    app_bytes_sent += o.app_bytes_sent;
+    return *this;
+  }
+  friend bool operator==(const InstanceCounters&,
+                         const InstanceCounters&) = default;
+};
+
+/// Deployment-wide metrics snapshot: per-process registries merged, plus
+/// below-stack counters its owner pulls from the channel/network/runtime
+/// layers. Value type: aggregate across seeds with +=, compare runs with ==.
+struct GroupMetrics {
+  /// Only modules with activity appear (key = framework module id).
+  std::map<std::uint16_t, ModuleCounters> modules;
+  /// Only instance-tagged wire sends appear (key = consensus instance k).
+  std::map<std::uint64_t, InstanceCounters> instances;
+
+  // Stack-level totals (sum over modules, kept for cheap access).
+  std::uint64_t local_events = 0;
+  std::uint64_t wire_sends = 0;
+  std::uint64_t untagged_sends = 0;  ///< sends outside any instance scope
+
+  // Below-stack counters (filled by the group owner, zero otherwise).
+  std::uint64_t timer_arms = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_bytes = 0;
+  std::uint64_t channel_data_sent = 0;
+  std::uint64_t channel_acks_sent = 0;
+  std::uint64_t channel_duplicates_dropped = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_payload_bytes = 0;
+  std::uint64_t net_wire_bytes = 0;
+  std::uint64_t net_dropped_messages = 0;
+  std::uint64_t net_dropped_bytes = 0;
+
+  GroupMetrics& operator+=(const GroupMetrics& o);
+  friend bool operator==(const GroupMetrics&, const GroupMetrics&) = default;
+
+  /// One flat JSON object on a single line (JSONL record). Deterministic:
+  /// ordered maps, no timestamps, no floating point.
+  std::string to_jsonl(const std::string& label) const;
+};
+
+/// Per-process metrics accumulator fed by Stack trace records.
+class MetricsRegistry {
+ public:
+  /// The TraceSink to install on a Stack (tee with tee_sink if a RingTrace
+  /// is also wanted).
+  framework::TraceSink sink() {
+    return [this](const framework::TraceRecord& rec) { record(rec); };
+  }
+
+  void record(const framework::TraceRecord& rec);
+
+  const ModuleCounters& module(std::uint16_t module_id) const {
+    return modules_.at(module_id);
+  }
+  const std::map<std::uint64_t, InstanceCounters>& instances() const {
+    return instances_;
+  }
+  std::uint64_t local_events() const { return local_events_; }
+  std::uint64_t wire_sends() const { return wire_sends_; }
+  std::uint64_t untagged_sends() const { return untagged_sends_; }
+
+  /// Named latency/size sample sets (created on first use).
+  util::SampleSet& sample(const std::string& name) { return samples_[name]; }
+  const std::map<std::string, util::SampleSet>& samples() const {
+    return samples_;
+  }
+
+  /// Adds this registry's stack-level counters into a group snapshot.
+  void merge_into(GroupMetrics& gm) const;
+
+  void clear();
+
+ private:
+  std::array<ModuleCounters, 256> modules_{};
+  std::map<std::uint64_t, InstanceCounters> instances_;
+  std::map<std::string, util::SampleSet> samples_;
+  std::uint64_t local_events_ = 0;
+  std::uint64_t wire_sends_ = 0;
+  std::uint64_t untagged_sends_ = 0;
+};
+
+/// Human-readable module name for JSONL keys ("abcast", "consensus", ...).
+const char* module_name(std::uint16_t module_id);
+
+/// Appends one line to a JSONL file (creates it if missing). Returns false
+/// on I/O failure.
+bool append_jsonl(const std::string& path, const std::string& line);
+
+}  // namespace modcast::metrics

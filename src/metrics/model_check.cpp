@@ -1,0 +1,159 @@
+#include "metrics/model_check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/analytical_model.hpp"
+#include "framework/event.hpp"
+
+namespace modcast::metrics {
+
+namespace {
+
+const ModuleCounters& module_or_empty(const GroupMetrics& gm,
+                                      std::uint16_t id) {
+  static const ModuleCounters kEmpty{};
+  auto it = gm.modules.find(id);
+  return it == gm.modules.end() ? kEmpty : it->second;
+}
+
+void fail(ModelCheckResult& r, const std::string& what, std::uint64_t measured,
+          std::uint64_t expected) {
+  std::ostringstream os;
+  os << what << ": measured " << measured << ", expected " << expected;
+  r.ok = false;
+  r.failures.push_back(os.str());
+}
+
+void check_eq(ModelCheckResult& r, const std::string& what,
+              std::uint64_t measured, std::uint64_t expected) {
+  if (measured != expected) fail(r, what, measured, expected);
+}
+
+}  // namespace
+
+std::string ModelCheckResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "MISMATCH") << ": messages " << measured_messages << "/"
+     << expected_messages << ", app bytes " << measured_app_bytes << "/"
+     << expected_app_bytes << " (model " << model_bytes << ")";
+  for (const auto& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+ModelCheckResult check_modular(const GroupMetrics& gm,
+                               const ModelCheckConfig& cfg) {
+  ModelCheckResult r;
+  const std::uint64_t n = cfg.n;
+  const std::uint64_t t = cfg.total_messages;
+  const std::uint64_t i = cfg.instances;
+  const std::uint64_t l = cfg.message_size;
+
+  const auto& ab = module_or_empty(gm, framework::kModAbcast);
+  const auto& cs = module_or_empty(gm, framework::kModConsensus);
+  const auto& rb = module_or_empty(gm, framework::kModRbcast);
+
+  // Group totals over the three protocol modules (FD excluded, as in §5.2).
+  r.measured_messages = ab.msgs_sent + cs.msgs_sent + rb.msgs_sent;
+  r.expected_messages =
+      (n - 1) * t + i * analysis::modular_messages_per_consensus(n, 0);
+  check_eq(r, "total protocol messages", r.measured_messages,
+           r.expected_messages);
+
+  r.measured_app_bytes = ab.app_bytes_sent + cs.app_bytes_sent +
+                         rb.app_bytes_sent;
+  r.expected_app_bytes = 2 * (n - 1) * t * l;
+  r.model_bytes = analysis::modular_data_per_consensus(n, t, double(l));
+  check_eq(r, "total app bytes", r.measured_app_bytes, r.expected_app_bytes);
+  if (std::abs(double(r.measured_app_bytes) - r.model_bytes) > 0.5) {
+    fail(r, "app bytes vs data model", r.measured_app_bytes,
+         std::uint64_t(r.model_bytes));
+  }
+
+  // Structure: diffusion carries every message once to every other process;
+  // the majority-resend rbcast contributes ⌊(n−1)/2⌋ relays per decision.
+  check_eq(r, "abcast diffusion messages", ab.msgs_sent, (n - 1) * t);
+  check_eq(r, "abcast diffusion app bytes", ab.app_bytes_sent, (n - 1) * t * l);
+  check_eq(r, "rbcast relay messages", rb.relays,
+           i * ((n - 1) / 2) * (n - 1));
+  check_eq(r, "consensus instances observed", gm.instances.size(), i);
+
+  // Per-instance: a clean instance shows proposal + acks + initial decision
+  // fan-out = 3(n−1) tagged sends, and its tagged app bytes encode M_k.
+  std::uint64_t sum_m = 0;
+  for (const auto& [k, ic] : gm.instances) {
+    const std::string tag = "instance " + std::to_string(k);
+    check_eq(r, tag + " tagged messages", ic.msgs_sent, 3 * (n - 1));
+    if (l == 0 || ic.app_bytes_sent % (l * (n - 1)) != 0) {
+      fail(r, tag + " app bytes not a batch multiple", ic.app_bytes_sent,
+           l * (n - 1));
+      continue;
+    }
+    const std::uint64_t m_k = ic.app_bytes_sent / (l * (n - 1));
+    sum_m += m_k;
+    // Full §5.2.1 identity for this instance: tagged sends + its share of
+    // diffusion + its relays.
+    check_eq(r, tag + " model messages",
+             ic.msgs_sent + m_k * (n - 1) + (n - 1) * ((n - 1) / 2),
+             analysis::modular_messages_per_consensus(n, m_k));
+  }
+  check_eq(r, "sum of per-instance batch sizes", sum_m, t);
+  return r;
+}
+
+ModelCheckResult check_monolithic(const GroupMetrics& gm,
+                                  const ModelCheckConfig& cfg) {
+  ModelCheckResult r;
+  const std::uint64_t n = cfg.n;
+  const std::uint64_t t = cfg.total_messages;
+  const std::uint64_t i = cfg.instances;
+  const std::uint64_t l = cfg.message_size;
+
+  const auto& mono = module_or_empty(gm, framework::kModMonolithic);
+
+  r.measured_messages = mono.msgs_sent;
+  r.expected_messages = i * analysis::monolithic_messages_per_consensus(n) +
+                        cfg.standalone_tags * (n - 1);
+  check_eq(r, "total protocol messages", r.measured_messages,
+           r.expected_messages);
+  check_eq(r, "decision-tag relays", mono.relays, 0);
+
+  // Byte identity needs uniform origins: K = T/n messages from each process,
+  // so (n−1)K of the T forwards never happen (the coordinator's own batch is
+  // already local) — equivalently each message is sent (n−1)(1+1/n) times.
+  if (n == 0 || t % n != 0) {
+    fail(r, "total messages not divisible by n (need uniform origins)", t, n);
+    return r;
+  }
+  const std::uint64_t k_per_proc = t / n;
+  r.measured_app_bytes = mono.app_bytes_sent;
+  r.expected_app_bytes = (n - 1) * t * l + (n - 1) * k_per_proc * l;
+  r.model_bytes = analysis::monolithic_data_per_consensus(n, t, double(l));
+  check_eq(r, "total app bytes", r.measured_app_bytes, r.expected_app_bytes);
+  if (std::abs(double(r.measured_app_bytes) - r.model_bytes) > 0.5) {
+    fail(r, "app bytes vs data model", r.measured_app_bytes,
+         std::uint64_t(r.model_bytes));
+  }
+
+  check_eq(r, "consensus instances observed", gm.instances.size(), i);
+
+  // Per-instance: combined proposal + acks = 2(n−1) tagged sends; the
+  // instance whose decision closes the run adds its (n−1) standalone tag.
+  std::uint64_t tagged_app = 0;
+  std::uint64_t tag_carriers = 0;
+  for (const auto& [k, ic] : gm.instances) {
+    const std::string tag = "instance " + std::to_string(k);
+    tagged_app += ic.app_bytes_sent;
+    if (ic.msgs_sent == 3 * (n - 1)) {
+      ++tag_carriers;
+    } else {
+      check_eq(r, tag + " tagged messages", ic.msgs_sent, 2 * (n - 1));
+    }
+  }
+  check_eq(r, "instances carrying a standalone tag", tag_carriers,
+           cfg.standalone_tags);
+  check_eq(r, "instance-tagged app bytes", tagged_app, mono.app_bytes_sent);
+  return r;
+}
+
+}  // namespace modcast::metrics

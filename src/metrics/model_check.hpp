@@ -1,0 +1,64 @@
+// Cross-validation of measured metrics against the §5.2 analytical model.
+//
+// The model is linear in M (messages per consensus instance), so a drained
+// run — T app messages, I consensus instances, every message adelivered
+// everywhere, no retransmissions, no round > 1 — must match it EXACTLY:
+//
+//   modular:    msgs  = (n−1)·T + I·modular_messages_per_consensus(n, 0)
+//               bytes = 2(n−1)·T·l                 (= model with M = T)
+//   monolithic: msgs  = I·monolithic_messages_per_consensus(n)
+//                       + tags·(n−1)               (standalone closing tag)
+//               bytes = (n−1)·T·l + (n−1)·(T/n)·l  (uniform origins,
+//                       = model with M = T when T/n messages per process)
+//
+// plus per-instance structure: a clean modular instance has exactly 3(n−1)
+// instance-tagged sends (proposal + acks + initial decision rbcast) and its
+// tagged app bytes determine its batch size M_k; relays account for the
+// remaining (n−1)⌊(n−1)/2⌋ per instance. These checks are what the
+// --validate modes of the table benches and test_metrics_vs_model run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace modcast::metrics {
+
+struct ModelCheckConfig {
+  std::uint64_t n = 3;
+  std::uint64_t total_messages = 0;  ///< T: app messages adelivered
+  std::uint64_t instances = 0;       ///< I: consensus instances decided
+  std::uint64_t message_size = 0;    ///< l: bytes per app message
+  /// Monolithic only: standalone decision tags sent after the last combined
+  /// proposal (exactly 1 in a drained run).
+  std::uint64_t standalone_tags = 0;
+};
+
+struct ModelCheckResult {
+  bool ok = true;
+  std::vector<std::string> failures;  ///< "what: measured X, expected Y"
+
+  // Headline numbers for reports.
+  std::uint64_t measured_messages = 0;
+  std::uint64_t expected_messages = 0;
+  std::uint64_t measured_app_bytes = 0;
+  std::uint64_t expected_app_bytes = 0;
+  double model_bytes = 0.0;  ///< the model's (double) data prediction
+
+  std::string summary() const;
+};
+
+/// Validates a drained modular-stack run against the model. gm must hold the
+/// merged metrics of the whole group.
+ModelCheckResult check_modular(const GroupMetrics& gm,
+                               const ModelCheckConfig& cfg);
+
+/// Validates a drained monolithic-stack run against the model. Requires
+/// cfg.total_messages divisible by n (uniform origins) for the exact
+/// byte identity.
+ModelCheckResult check_monolithic(const GroupMetrics& gm,
+                                  const ModelCheckConfig& cfg);
+
+}  // namespace modcast::metrics

@@ -27,6 +27,12 @@ constexpr std::uint8_t kFlagHasDecision = 0x1;
 constexpr std::uint32_t kRelayTagChannel = 0;
 constexpr std::uint32_t kRelayFullChannel = 1;
 
+std::size_t batch_app_bytes(const std::vector<adb::AppMessage>& batch) {
+  std::size_t bytes = 0;
+  for (const adb::AppMessage& m : batch) bytes += m.payload.size();
+  return bytes;
+}
+
 }  // namespace
 
 void MonolithicAbcast::init(framework::Stack& stack) {
@@ -114,6 +120,8 @@ void MonolithicAbcast::route_message(adb::AppMessage m) {
     util::ByteWriter w(m.payload.size() + 32);
     w.u8(kForward);
     w.raw(adb::encode_batch({m}));
+    framework::TraceScope scope(*stack_, framework::kNoInstance,
+                                m.payload.size());
     stack_->send_wire_to_others(framework::kModMonolithic, w.take());
     pool_add(std::move(m));
     return;
@@ -172,6 +180,8 @@ void MonolithicAbcast::flush_outbox_standalone() {
     try_start_instance();
     return;
   }
+  framework::TraceScope scope(*stack_, framework::kNoInstance,
+                              batch_app_bytes(batch));
   stack_->send_wire(target, framework::kModMonolithic, w.take());
   ++stats_.forwards_sent;
 }
@@ -259,7 +269,10 @@ bool MonolithicAbcast::try_start_instance() {
   }
   w.u64(k);
   w.raw(value);
-  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  {
+    framework::TraceScope scope(*stack_, k, batch_app_bytes(batch));
+    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  }
 
   next_start_ = k + 1;
   arm_retransmit(inst, 1);
@@ -299,6 +312,7 @@ void MonolithicAbcast::arm_retransmit(Instance& inst, std::uint32_t round) {
         const util::Bytes msg = w.take();
         const auto n = static_cast<util::ProcessId>(stack_->group_size());
         const auto& acked = inst.ack_senders[round];
+        framework::TraceScope scope(*stack_, k, 0);
         for (util::ProcessId p = 0; p < n; ++p) {
           if (p == stack_->self() || acked.count(p) != 0) continue;
           stack_->send_wire(p, framework::kModMonolithic, msg);
@@ -329,7 +343,10 @@ void MonolithicAbcast::coordinator_decided(Instance& inst,
     w.u8(kDecisionTag);
     w.u64(k);
     w.u32(round);
-    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+    {
+      framework::TraceScope scope(*stack_, k, 0);
+      stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+    }
     ++stats_.standalone_tags;
     try_start_instance();
     return;
@@ -343,6 +360,7 @@ void MonolithicAbcast::coordinator_decided(Instance& inst,
     w.u8(kDecisionTag);
     w.u64(k);
     w.u32(round);
+    framework::TraceScope scope(*stack_, k, 0);
     stack_->send_wire_to_others(framework::kModMonolithic, w.take());
     ++stats_.standalone_tags;
   }
@@ -366,6 +384,7 @@ void MonolithicAbcast::advance_round(Instance& inst) {
     w.u8(kNack);
     w.u64(inst.k);
     w.u32(inst.round);
+    framework::TraceScope scope(*stack_, inst.k, 0);
     stack_->send_wire(c, framework::kModMonolithic, w.take());
     inst.nacked_rounds.insert(inst.round);
   }
@@ -394,6 +413,7 @@ void MonolithicAbcast::send_estimate(Instance& inst, std::uint32_t round,
   w.u32(inst.estimate_ts);
   w.blob(inst.estimate);
   w.raw(adb::encode_batch(piggy));
+  framework::TraceScope scope(*stack_, inst.k, batch_app_bytes(piggy));
   stack_->send_wire(coord, framework::kModMonolithic, w.take());
 }
 
@@ -436,6 +456,7 @@ void MonolithicAbcast::check_estimates(Instance& inst, std::uint32_t round) {
       w.u8(kSolicit);
       w.u64(inst.k);
       w.u32(round);
+      framework::TraceScope scope(*stack_, inst.k, 0);
       stack_->send_wire_to_others(framework::kModMonolithic, w.take());
     }
   }
@@ -468,7 +489,10 @@ void MonolithicAbcast::check_estimates(Instance& inst, std::uint32_t round) {
   w.u64(inst.k);
   w.u32(round);
   w.raw(value);
-  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  {
+    framework::TraceScope scope(*stack_, inst.k, 0);
+    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  }
   arm_retransmit(inst, round);
   maybe_decide_as_coordinator(inst, round);
 }
@@ -497,6 +521,7 @@ void MonolithicAbcast::send_ack(Instance& inst, std::uint32_t round,
   w.u64(inst.k);
   w.u32(round);
   w.raw(adb::encode_batch(piggy));
+  framework::TraceScope scope(*stack_, inst.k, batch_app_bytes(piggy));
   stack_->send_wire(coord, framework::kModMonolithic, w.take());
 }
 
@@ -524,6 +549,7 @@ void MonolithicAbcast::handle_proposal(util::ProcessId from, std::uint64_t k,
       w.u8(kNack);
       w.u64(k);
       w.u32(round);
+      framework::TraceScope scope(*stack_, k, 0);
       stack_->send_wire(from, framework::kModMonolithic, w.take());
     }
     return;
@@ -543,7 +569,10 @@ void MonolithicAbcast::handle_proposal(util::ProcessId from, std::uint64_t k,
     w.u8(kNack);
     w.u64(k);
     w.u32(round);
-    stack_->send_wire(from, framework::kModMonolithic, w.take());
+    {
+      framework::TraceScope scope(*stack_, k, 0);
+      stack_->send_wire(from, framework::kModMonolithic, w.take());
+    }
     inst.nacked_rounds.insert(round);
     advance_round(inst);
     return;
@@ -679,6 +708,7 @@ bool MonolithicAbcast::reply_decision_if_known(util::ProcessId to,
   w.u64(k);
   w.u32(decision_rounds_[k]);
   w.raw(it->second);
+  framework::TraceScope scope(*stack_, k, 0);
   stack_->send_wire(to, framework::kModMonolithic, w.take());
   return true;
 }
@@ -687,7 +717,10 @@ void MonolithicAbcast::start_pull(Instance& inst) {
   util::ByteWriter w(16);
   w.u8(kPull);
   w.u64(inst.k);
-  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  {
+    framework::TraceScope scope(*stack_, inst.k, 0);
+    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  }
   stats_.pulls_sent += stack_->group_size() - 1;
   const std::uint64_t k = inst.k;
   inst.pull_timer = stack_->rt().set_timer(config_.pull_retry, [this, k] {
@@ -702,12 +735,13 @@ void MonolithicAbcast::broadcast_decision_fallback(std::uint64_t k,
                                                    std::uint32_t round,
                                                    const util::Bytes& batch,
                                                    bool relay_seen) {
-  (void)relay_seen;
   util::ByteWriter w(batch.size() + 16);
   w.u8(kDecisionFull);
   w.u64(k);
   w.u32(round);
   w.raw(batch);
+  framework::TraceScope scope(
+      *stack_, k, 0, relay_seen ? framework::kTraceFlagRelay : std::uint8_t{0});
   stack_->send_wire_to_others(framework::kModMonolithic, w.take());
 }
 
@@ -771,6 +805,8 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
         w.u8(kDecisionTag);
         w.u64(k);
         w.u32(round);
+        framework::TraceScope scope(*stack_, k, 0,
+                                    framework::kTraceFlagRelay);
         stack_->send_wire_to_others(framework::kModMonolithic, w.take());
       }
       break;
@@ -880,7 +916,10 @@ void MonolithicAbcast::on_suspect(util::ProcessId q) {
     w.u8(kNack);
     w.u64(k);
     w.u32(inst.round);
-    stack_->send_wire(q, framework::kModMonolithic, w.take());
+    {
+      framework::TraceScope scope(*stack_, k, 0);
+      stack_->send_wire(q, framework::kModMonolithic, w.take());
+    }
     inst.nacked_rounds.insert(inst.round);
     advance_round(inst);
   }
@@ -909,7 +948,10 @@ void MonolithicAbcast::ensure_instance_progress() {
     w.u8(kNack);
     w.u64(inst.k);
     w.u32(1);
-    stack_->send_wire(coordinator(1), framework::kModMonolithic, w.take());
+    {
+      framework::TraceScope scope(*stack_, inst.k, 0);
+      stack_->send_wire(coordinator(1), framework::kModMonolithic, w.take());
+    }
     advance_round(inst);
   }
 }
@@ -933,6 +975,8 @@ void MonolithicAbcast::arm_liveness_timer() {
             util::ByteWriter w(payload.size() + 32);
             w.u8(kForward);
             w.raw(adb::encode_batch({adb::AppMessage{id, payload}}));
+            framework::TraceScope scope(*stack_, framework::kNoInstance,
+                                        payload.size());
             stack_->send_wire_to_others(framework::kModMonolithic, w.take());
           }
         }

@@ -88,6 +88,11 @@ void ReliableBcast::deliver_and_maybe_relay(util::ProcessId origin,
 }
 
 void ReliableBcast::relay(const util::Payload& encoded) {
+  // Relays happen before the rdeliver raise, outside any instance scope the
+  // original broadcaster had; mark them so metrics can separate the
+  // ⌊(n−1)/2⌋·(n−1) relay copies from initial fan-outs.
+  framework::TraceScope scope(*stack_, framework::kNoInstance, 0,
+                              framework::kTraceFlagRelay);
   stack_->send_wire_to_others(framework::kModRbcast, encoded);
 }
 

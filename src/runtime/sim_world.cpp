@@ -23,6 +23,7 @@ class SimWorld::ProcRuntime final : public Runtime {
 
   TimerId set_timer(util::Duration delay, std::function<void()> fn) override {
     const TimerId id = next_timer_++;
+    ++timer_arms_;
     auto event = world_->sim_.after(
         delay, [this, id, fn = std::move(fn)] {
           auto it = timers_.find(id);
@@ -43,6 +44,8 @@ class SimWorld::ProcRuntime final : public Runtime {
 
   util::Rng& rng() override { return rng_; }
 
+  std::uint64_t timer_arms() const { return timer_arms_; }
+
   void charge_cpu(util::Duration cost) override {
     world_->cpu(self_).charge(cost);
   }
@@ -52,6 +55,7 @@ class SimWorld::ProcRuntime final : public Runtime {
   util::ProcessId self_;
   util::Rng rng_;
   TimerId next_timer_ = 1;
+  std::uint64_t timer_arms_ = 0;
   std::unordered_map<TimerId, sim::EventId> timers_;
 };
 
@@ -75,6 +79,10 @@ SimWorld::SimWorld(SimWorldConfig config)
 SimWorld::~SimWorld() = default;
 
 Runtime& SimWorld::runtime(util::ProcessId p) { return *runtimes_.at(p); }
+
+std::uint64_t SimWorld::timer_arms(util::ProcessId p) const {
+  return runtimes_.at(p)->timer_arms();
+}
 
 void SimWorld::attach(util::ProcessId p, Protocol* protocol) {
   assert(p < config_.n);

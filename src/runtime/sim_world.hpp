@@ -60,6 +60,8 @@ class SimWorld {
   sim::Network& network() { return net_; }
   sim::Cpu& cpu(util::ProcessId p) { return *cpus_.at(p); }
   Runtime& runtime(util::ProcessId p);
+  /// Total timers armed by process p's runtime so far (metrics).
+  std::uint64_t timer_arms(util::ProcessId p) const;
   const SimWorldConfig& config() const { return config_; }
 
   /// Attaches the protocol stack of process p (non-owning). Must be called

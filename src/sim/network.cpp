@@ -63,8 +63,15 @@ void Network::send(util::ProcessId from, util::ProcessId to,
   per_sender_[from].payload_bytes += size;
   per_sender_[from].wire_bytes += size + config_.frame_overhead_bytes;
 
-  if (drop_ && drop_(from, to)) return;
-  if (blocked_[pair_index(from, to)]) return;
+  if ((drop_ && drop_(from, to)) || blocked_[pair_index(from, to)]) {
+    // Lost frames still consumed the sender's NIC counters above; account
+    // them separately so experiments can report loss volume.
+    total_.dropped_messages += 1;
+    total_.dropped_bytes += size;
+    per_sender_[from].dropped_messages += 1;
+    per_sender_[from].dropped_bytes += size;
+    return;
+  }
 
   // Egress serialization: the sender's NIC transmits one frame at a time.
   const util::TimePoint depart =

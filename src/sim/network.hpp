@@ -44,11 +44,18 @@ struct NetCounters {
   std::uint64_t messages = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t wire_bytes = 0;
+  /// Frames lost to drop probability or blocked links. Also included in the
+  /// totals above (the sender paid for them); tracked so loss volume is
+  /// reportable.
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t dropped_bytes = 0;
 
   NetCounters& operator+=(const NetCounters& o) {
     messages += o.messages;
     payload_bytes += o.payload_bytes;
     wire_bytes += o.wire_bytes;
+    dropped_messages += o.dropped_messages;
+    dropped_bytes += o.dropped_bytes;
     return *this;
   }
 };

@@ -5,6 +5,52 @@
 
 namespace modcast::util {
 
+namespace {
+
+// std::stoll/std::stod accept trailing garbage ("7x" → 7) and throw errors
+// that never mention which flag was malformed; every numeric accessor goes
+// through these instead.
+std::int64_t parse_int_strict(const std::string& name,
+                              const std::string& value) {
+  std::size_t pos = 0;
+  std::int64_t out = 0;
+  try {
+    out = std::stoll(value, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("flag --" + name +
+                                ": integer out of range: '" + value + "'");
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                value + "'");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                value + "' (trailing characters)");
+  }
+  return out;
+}
+
+double parse_double_strict(const std::string& name, const std::string& value) {
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("flag --" + name + ": number out of range: '" +
+                                value + "'");
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                value + "'");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                value + "' (trailing characters)");
+  }
+  return out;
+}
+
+}  // namespace
+
 Flags::Flags(int argc, const char* const* argv,
              const std::vector<std::string>& known) {
   for (int i = 1; i < argc; ++i) {
@@ -52,13 +98,13 @@ std::string Flags::get(const std::string& name, const std::string& def) const {
 std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::stoll(it->second);
+  return parse_int_strict(name, it->second);
 }
 
 double Flags::get_double(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::stod(it->second);
+  return parse_double_strict(name, it->second);
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
@@ -82,7 +128,7 @@ std::vector<std::int64_t> Flags::get_int_list(
     auto comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
     std::string tok = s.substr(pos, comma - pos);
-    if (!tok.empty()) out.push_back(std::stoll(tok));
+    if (!tok.empty()) out.push_back(parse_int_strict(name, tok));
     pos = comma + 1;
   }
   return out;

@@ -66,11 +66,12 @@ ConfidenceInterval confidence_95(const StreamingStats& s) {
   return ci;
 }
 
-void SampleSet::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+const std::vector<double>& SampleSet::sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
   }
+  return sorted_;
 }
 
 double SampleSet::mean() const {
@@ -90,25 +91,23 @@ double SampleSet::stddev() const {
 
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
+  const auto& s = sorted();
   p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const auto hi = std::min(lo + 1, s.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
 }
 
 double SampleSet::min() const {
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
-  return samples_.front();
+  return sorted().front();
 }
 
 double SampleSet::max() const {
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
-  return samples_.back();
+  return sorted().back();
 }
 
 ConfidenceInterval SampleSet::confidence_95() const {

@@ -57,7 +57,7 @@ class SampleSet {
  public:
   void add(double x) {
     samples_.push_back(x);
-    sorted_ = false;
+    sorted_.clear();
   }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
@@ -71,12 +71,16 @@ class SampleSet {
   double max() const;
   ConfidenceInterval confidence_95() const;
 
+  /// Raw samples in insertion (arrival) order — never reordered by
+  /// percentile/min/max queries, which sort a private copy instead.
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
+  std::vector<double> samples_;
+  /// Lazily built sorted copy, invalidated by add(); samples_ stays in
+  /// insertion order so exporters see arrival-ordered data.
+  mutable std::vector<double> sorted_;
+  const std::vector<double>& sorted() const;
 };
 
 /// Formats "mean ± half [count]" for report tables.

@@ -110,6 +110,7 @@ ScenarioResult run_scenario(const CampaignConfig& config,
   // Drops and partitions lose messages outright, violating the
   // quasi-reliable channel assumption; restore it with the TCP-lite layer.
   gc.reliable_channels = schedule.needs_reliable_channels();
+  gc.collect_metrics = true;
   core::SimGroup group(gc);
   auto& world = group.world();
   auto& sim = world.simulator();
@@ -173,6 +174,8 @@ ScenarioResult run_scenario(const CampaignConfig& config,
 
   group.start();
   group.run_until(config.run_for + config.drain);
+
+  result.metrics = group.collect_metrics();
 
   // Contract verdict: the run drained, so the full finalize (uniform
   // agreement among correct processes) applies.

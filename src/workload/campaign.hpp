@@ -28,6 +28,7 @@
 #include "core/abcast_process.hpp"
 #include "faults/fault_schedule.hpp"
 #include "faults/safety_checker.hpp"
+#include "metrics/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace modcast::workload {
@@ -69,6 +70,13 @@ struct ScenarioResult {
   double max_gap_ms = 0.0;    ///< largest inter-commit gap, whole run
   util::SampleSet pre_fault_latency_ms;   ///< admitted before the first fault
   util::SampleSet post_fault_latency_ms;  ///< admitted at/after it
+
+  /// Group-wide counters for the whole run (boundary crossings, per-instance
+  /// traffic, channel retransmissions, network drops). Collection is passive,
+  /// so verdicts and latencies are unaffected. Lossy scenarios (drops,
+  /// partitions) are expected to show nonzero retransmissions; clean and
+  /// crash-only runs must not.
+  metrics::GroupMetrics metrics;
 };
 
 /// The standard scenario battery for an n-process group (first entry is the

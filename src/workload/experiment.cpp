@@ -57,6 +57,7 @@ RunResult run_once(std::size_t n, const core::StackOptions& stack,
   gc.seed = seed;
   gc.record_deliveries = false;
   gc.safety_check = workload.safety_check;
+  gc.collect_metrics = workload.collect_metrics;
   core::SimGroup group(gc);
   auto& world = group.world();
   auto& sim = world.simulator();
@@ -203,6 +204,7 @@ RunResult run_once(std::size_t n, const core::StackOptions& stack,
         static_cast<double>(window_bytes) /
         static_cast<double>(result.unique_delivered);
   }
+  if (workload.collect_metrics) result.metrics = group.collect_metrics();
   if (workload.safety_check) {
     // Online invariants only: the run is chopped at a deadline with
     // messages legitimately still in flight, so the end-of-run agreement
@@ -229,6 +231,7 @@ AggregateResult aggregate_runs(const std::vector<RunResult>& runs) {
     bpa += r.protocol_bytes_per_abcast;
     mpc += r.msgs_per_consensus;
     bpc += r.bytes_per_consensus;
+    agg.metrics += r.metrics;
   }
   const double k = runs.empty() ? 1.0 : static_cast<double>(runs.size());
   agg.latency_ms = util::confidence_95(latency);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/sim_group.hpp"
+#include "metrics/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace modcast::workload {
@@ -35,6 +36,10 @@ struct WorkloadConfig {
   /// in RunResult::safety_ok / safety_violations. Good-run figure benches
   /// leave this off (it is not free); failure-mode runs turn it on.
   bool safety_check = false;
+  /// Install MetricsRegistry tracers and snapshot the merged GroupMetrics
+  /// into RunResult::metrics. Passive: simulated event order and all default
+  /// outputs are unchanged.
+  bool collect_metrics = false;
 };
 
 /// Result of a single seeded execution.
@@ -52,6 +57,7 @@ struct RunResult {
   double bytes_per_consensus = 0.0;
   bool safety_ok = true;          ///< meaningful iff safety_check was on
   std::vector<std::string> safety_violations;
+  metrics::GroupMetrics metrics;  ///< filled iff collect_metrics was on
 };
 
 /// Runs one seeded execution of the given stack and workload on an
@@ -71,6 +77,7 @@ struct AggregateResult {
   double protocol_bytes_per_abcast = 0.0;
   double msgs_per_consensus = 0.0;
   double bytes_per_consensus = 0.0;
+  metrics::GroupMetrics metrics;  ///< sum over seeds (collect_metrics runs)
 };
 
 /// Aggregates per-seed runs into CIs and means. Deterministic in the run

@@ -1,0 +1,62 @@
+// benchdiff: the flat-JSON scanner and drift detector CI gates on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "benchdiff.hpp"
+
+namespace benchdiff {
+namespace {
+
+TEST(Flatten, NestedObjectsAndArrays) {
+  const auto f = flatten_json(
+      R"({"bench": "t", "points": [{"n": 3, "mean": 1.5}, {"n": 7}]})");
+  EXPECT_EQ(f.at("bench"), "t");
+  EXPECT_EQ(f.at("points[0].n"), "3");
+  EXPECT_EQ(f.at("points[0].mean"), "1.5");
+  EXPECT_EQ(f.at("points[1].n"), "7");
+  EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(Flatten, ScalarsKeepSourceSpelling) {
+  const auto f = flatten_json(R"({"a": 1.500, "b": true, "c": null})");
+  EXPECT_EQ(f.at("a"), "1.500");  // not canonicalized: drift means drift
+  EXPECT_EQ(f.at("b"), "true");
+  EXPECT_EQ(f.at("c"), "null");
+}
+
+TEST(Flatten, RejectsMalformed) {
+  EXPECT_THROW(flatten_json("{"), std::runtime_error);
+  EXPECT_THROW(flatten_json(R"({"a": 1} trailing)"), std::runtime_error);
+  EXPECT_THROW(flatten_json(R"({"a": })"), std::runtime_error);
+}
+
+TEST(Diff, ExactByDefault) {
+  const auto a = flatten_json(R"({"x": 1.0, "y": 2})");
+  const auto b = flatten_json(R"({"x": 1.0000001, "y": 2})");
+  EXPECT_EQ(diff(a, a).size(), 0u);
+  const auto d = diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].find("x"), std::string::npos);
+}
+
+TEST(Diff, ToleranceForgivesSmallNumericDrift) {
+  const auto a = flatten_json(R"({"x": 1.0, "s": "m"})");
+  const auto b = flatten_json(R"({"x": 1.0000001, "s": "m"})");
+  EXPECT_EQ(diff(a, b, {1e-5}).size(), 0u);
+  // ...but never forgives string drift.
+  const auto c = flatten_json(R"({"x": 1.0, "s": "other"})");
+  EXPECT_EQ(diff(a, c, {1e-5}).size(), 1u);
+}
+
+TEST(Diff, ReportsMissingAndExtraPaths) {
+  const auto a = flatten_json(R"({"x": 1, "gone": 2})");
+  const auto b = flatten_json(R"({"x": 1, "new": 3})");
+  const auto d = diff(a, b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_NE(d[0].find("only in first: gone"), std::string::npos);
+  EXPECT_NE(d[1].find("only in second: new"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace benchdiff

@@ -56,6 +56,40 @@ TEST(Flags, IntList) {
             (std::vector<std::int64_t>{1, 2}));
 }
 
+TEST(Flags, RejectsTrailingGarbageOnNumbers) {
+  // Regression: get_int/get_double used std::stoll/stod, which stop at the
+  // first bad character, so "--n=7x" silently parsed as 7 and typos went
+  // unnoticed for a whole sweep.
+  auto f = parse({"--n=7x", "--rate=1.5abc", "--hex=0x10", "--blank="});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("rate", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_int("hex", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_int("blank", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("blank", 0), std::invalid_argument);
+}
+
+TEST(Flags, NumericErrorsNameTheFlag) {
+  auto f = parse({"--window=12q"});
+  try {
+    f.get_int("window", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("window"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Flags, IntListTokensParsedStrictly) {
+  auto f = parse({"--sizes=64,1z8,256"});
+  EXPECT_THROW(f.get_int_list("sizes", {}), std::invalid_argument);
+}
+
+TEST(Flags, NumbersStillParseWithSignsAndExponents) {
+  auto f = parse({"--delta=-3", "--rate=2.5e-2"});
+  EXPECT_EQ(f.get_int("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 0.025);
+}
+
 TEST(Flags, Positional) {
   auto f = parse({"one", "--n=3", "two"});
   EXPECT_EQ(f.positional(), (std::vector<std::string>{"one", "two"}));

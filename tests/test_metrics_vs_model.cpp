@@ -1,0 +1,75 @@
+// Trace-derived metrics must reproduce the §5.2 analytical model EXACTLY on
+// drained good runs — the strongest correctness statement the repo makes
+// about its message/byte accounting (and about the model implementation:
+// each validates the other).
+#include <gtest/gtest.h>
+
+#include "analysis/analytical_model.hpp"
+#include "workload/validation.hpp"
+
+namespace modcast::workload {
+namespace {
+
+ValidationConfig config_for(std::size_t n, core::StackKind kind) {
+  ValidationConfig cfg;
+  cfg.n = n;
+  cfg.kind = kind;
+  cfg.messages_per_process = 8;
+  cfg.message_size = 1024;
+  return cfg;
+}
+
+class MetricsVsModel : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MetricsVsModel, ModularMatchesModelExactly) {
+  const auto r = run_model_validation(
+      config_for(GetParam(), core::StackKind::kModular));
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_EQ(r.check.measured_messages, r.check.expected_messages);
+  EXPECT_EQ(r.check.measured_app_bytes, r.check.expected_app_bytes);
+  // The double-valued data model agrees with the integer identity.
+  EXPECT_NEAR(static_cast<double>(r.check.measured_app_bytes),
+              r.check.model_bytes, 0.5);
+}
+
+TEST_P(MetricsVsModel, MonolithicMatchesModelExactly) {
+  const auto r = run_model_validation(
+      config_for(GetParam(), core::StackKind::kMonolithic));
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_EQ(r.standalone_tags, 1u) << "a drained run closes with one tag";
+  EXPECT_NEAR(static_cast<double>(r.check.measured_app_bytes),
+              r.check.model_bytes, 0.5);
+}
+
+TEST_P(MetricsVsModel, ModularCostsMoreBytesThanMonolithic) {
+  const std::size_t n = GetParam();
+  const auto mod =
+      run_model_validation(config_for(n, core::StackKind::kModular));
+  const auto mono =
+      run_model_validation(config_for(n, core::StackKind::kMonolithic));
+  ASSERT_TRUE(mod.ok()) << mod.describe();
+  ASSERT_TRUE(mono.ok()) << mono.describe();
+  // §5.2.2: same workload, the modular stack moves (n−1)/(n+1) more app
+  // bytes. Same T on both sides makes the totals directly comparable.
+  ASSERT_EQ(mod.total_messages, mono.total_messages);
+  EXPECT_GT(mod.check.measured_app_bytes, mono.check.measured_app_bytes);
+  const double measured_overhead =
+      (static_cast<double>(mod.check.measured_app_bytes) -
+       static_cast<double>(mono.check.measured_app_bytes)) /
+      static_cast<double>(mono.check.measured_app_bytes);
+  EXPECT_NEAR(measured_overhead, analysis::modularity_data_overhead(n), 1e-9);
+}
+
+TEST_P(MetricsVsModel, SameSeedSameMetrics) {
+  const auto cfg = config_for(GetParam(), core::StackKind::kModular);
+  const auto a = run_model_validation(cfg);
+  const auto b = run_model_validation(cfg);
+  EXPECT_TRUE(a.metrics == b.metrics) << "metrics must be seed-deterministic";
+  EXPECT_EQ(a.metrics.to_jsonl("x"), b.metrics.to_jsonl("x"));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, MetricsVsModel,
+                         ::testing::Values(3u, 5u, 7u));
+
+}  // namespace
+}  // namespace modcast::workload

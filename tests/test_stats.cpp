@@ -105,6 +105,22 @@ TEST(SampleSet, AddAfterPercentileQuery) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
 }
 
+TEST(SampleSet, SamplesKeepInsertionOrderAfterQueries) {
+  // Regression: percentile() used to std::sort the sample vector in place,
+  // so samples() returned sorted data after the first query and callers
+  // exporting per-arrival latency series got silently reordered output.
+  SampleSet s;
+  const std::vector<double> arrival{5.0, 1.0, 9.0, 3.0};
+  for (double x : arrival) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.samples(), arrival);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+  EXPECT_EQ(s.samples(), (std::vector<double>{5.0, 1.0, 9.0, 3.0, 0.5}));
+}
+
 TEST(FormatCi, Format) {
   ConfidenceInterval ci{12.3456, 0.789, 5};
   EXPECT_EQ(format_ci(ci, 2), "12.35 ±0.79");

@@ -22,6 +22,36 @@ TEST(RingTrace, KeepsMostRecentUpToCapacity) {
   EXPECT_EQ(trace.records().back().code, 4);
 }
 
+TEST(RingTrace, ClearResetsTotalToo) {
+  // Regression: clear() used to drop the records but keep total_, so a
+  // cleared trace reported phantom history (and "records since clear"
+  // arithmetic went negative).
+  RingTrace trace(3);
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    trace.add(TraceRecord{i, 0, TraceKind::kLocalEvent, i, 0, 0});
+  }
+  ASSERT_EQ(trace.total(), 5u);
+  trace.clear();
+  EXPECT_EQ(trace.total(), 0u);
+  EXPECT_TRUE(trace.records().empty());
+  trace.add(TraceRecord{9, 0, TraceKind::kLocalEvent, 9, 0, 0});
+  EXPECT_EQ(trace.total(), 1u);
+}
+
+TEST(TeeSink, FansOutToBothSinks) {
+  RingTrace a;
+  RingTrace b;
+  TraceSink tee = tee_sink(a.sink(), b.sink());
+  tee(TraceRecord{0, 0, TraceKind::kWireSend, 7, 1, 10});
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(b.total(), 1u);
+  // Either side may be empty: the other still receives records.
+  TraceSink right_only = tee_sink(nullptr, b.sink());
+  right_only(TraceRecord{0, 0, TraceKind::kWireSend, 7, 1, 10});
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(b.total(), 2u);
+}
+
 TEST(RingTrace, CountFilters) {
   RingTrace trace;
   trace.add(TraceRecord{0, 0, TraceKind::kWireSend, 7, 1, 10});

@@ -1,0 +1,202 @@
+#include "benchdiff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace benchdiff {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  FlatJson parse() {
+    FlatJson out;
+    skip_ws();
+    value("", out);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("json error: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Benchmark output is ASCII; keep the escape verbatim.
+            out += "\\u";
+            break;
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  void value(const std::string& path, FlatJson& out) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      object(path, out);
+    } else if (c == '[') {
+      array(path, out);
+    } else if (c == '"') {
+      out[path.empty() ? "." : path] = string_token();
+    } else {
+      // number / true / false / null: consume the bare token.
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '+' || text_[pos_] == '-' || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        ++pos_;
+      }
+      if (pos_ == start) fail("expected a value");
+      out[path.empty() ? "." : path] = text_.substr(start, pos_ - start);
+    }
+  }
+
+  void object(const std::string& path, FlatJson& out) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = string_token();
+      skip_ws();
+      expect(':');
+      value(path.empty() ? key : path + "." + key, out);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void array(const std::string& path, FlatJson& out) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    std::size_t index = 0;
+    while (true) {
+      value(path + "[" + std::to_string(index++) + "]", out);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool numbers_close(const std::string& a, const std::string& b, double tol) {
+  char* enda = nullptr;
+  char* endb = nullptr;
+  const double va = std::strtod(a.c_str(), &enda);
+  const double vb = std::strtod(b.c_str(), &endb);
+  if (enda == a.c_str() || *enda != '\0') return false;  // not a number
+  if (endb == b.c_str() || *endb != '\0') return false;
+  return std::abs(va - vb) <= tol * std::max(std::abs(va), std::abs(vb));
+}
+
+}  // namespace
+
+FlatJson flatten_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+FlatJson flatten_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return flatten_json(ss.str());
+}
+
+std::vector<std::string> diff(const FlatJson& a, const FlatJson& b,
+                              const DiffOptions& opts) {
+  std::vector<std::string> out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      out.push_back("only in first: " + ia->first + " = " + ia->second);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      out.push_back("only in second: " + ib->first + " = " + ib->second);
+      ++ib;
+    } else {
+      if (ia->second != ib->second &&
+          !(opts.tolerance > 0.0 &&
+            numbers_close(ia->second, ib->second, opts.tolerance))) {
+        out.push_back(ia->first + ": " + ia->second + " != " + ib->second);
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace benchdiff

@@ -1,0 +1,41 @@
+// benchdiff — drift detector for results/*.json bench outputs.
+//
+// Flattens two JSON files into path → scalar maps ("points[3].mean" →
+// "8.665928") and reports every structural or value difference. Values
+// compare textually by default — the simulator is deterministic, so a
+// regenerated bench result must be byte-equal field by field; a relative
+// tolerance can be supplied for cross-toolchain floating-point slack.
+//
+// Plain C++17, standard library only (same bootstrap constraints as
+// modcheck), so CI can build and run it without the simulator libraries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchdiff {
+
+/// Flat view of a JSON document: dotted/bracketed paths to scalar tokens.
+/// Numbers keep their source spelling; strings are unescaped.
+using FlatJson = std::map<std::string, std::string>;
+
+/// Parses JSON text into its flat form. Throws std::runtime_error with a
+/// byte offset on malformed input.
+FlatJson flatten_json(const std::string& text);
+
+/// Reads and flattens a file. Throws std::runtime_error on I/O failure.
+FlatJson flatten_file(const std::string& path);
+
+struct DiffOptions {
+  /// Relative tolerance for numeric values (0 = exact textual match).
+  /// |a−b| <= tol · max(|a|, |b|) passes when both sides parse as numbers.
+  double tolerance = 0.0;
+};
+
+/// One human-readable line per difference ("points[2].mean: 5.1 != 5.2",
+/// "only in a.json: points[8]...."). Empty = no drift.
+std::vector<std::string> diff(const FlatJson& a, const FlatJson& b,
+                              const DiffOptions& opts = {});
+
+}  // namespace benchdiff

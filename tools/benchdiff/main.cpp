@@ -1,0 +1,60 @@
+// benchdiff CLI: compare two bench result JSON files field by field.
+//
+//   benchdiff [--tol=REL] a.json b.json
+//
+// Exit codes: 0 = identical (within tolerance), 1 = drift detected,
+// 2 = usage or I/O error. The deterministic simulator makes regenerated
+// results exactly reproducible, so CI runs with no tolerance: any drift in
+// a counter, mean, or CI is a regression (or an uncommitted result file).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "benchdiff.hpp"
+
+int main(int argc, char** argv) {
+  double tol = 0.0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tol=", 0) == 0) {
+      char* end = nullptr;
+      tol = std::strtod(arg.c_str() + 6, &end);
+      if (end == arg.c_str() + 6 || *end != '\0' || tol < 0.0) {
+        std::fprintf(stderr, "benchdiff: bad --tol value '%s'\n",
+                     arg.c_str() + 6);
+        return 2;
+      }
+    } else if (arg == "--help") {
+      std::printf("usage: benchdiff [--tol=REL] a.json b.json\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr, "usage: benchdiff [--tol=REL] a.json b.json\n");
+    return 2;
+  }
+
+  try {
+    const auto a = benchdiff::flatten_file(files[0]);
+    const auto b = benchdiff::flatten_file(files[1]);
+    const auto drift = benchdiff::diff(a, b, {tol});
+    if (drift.empty()) {
+      std::printf("benchdiff: %s == %s (%zu fields)\n", files[0].c_str(),
+                  files[1].c_str(), a.size());
+      return 0;
+    }
+    std::printf("benchdiff: %zu difference(s) between %s and %s:\n",
+                drift.size(), files[0].c_str(), files[1].c_str());
+    for (const auto& d : drift) std::printf("  %s\n", d.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "benchdiff: %s\n", e.what());
+    return 2;
+  }
+}
