@@ -120,6 +120,7 @@ class ChanneledRuntime final : public runtime::Runtime {
     channel_->send(to, std::move(msg));
   }
   runtime::TimerId set_timer(util::Duration delay,
+                             // wirecheck:allow(hot.function): Runtime API shape; timers fire per retransmit interval, not per message.
                              std::function<void()> fn) override {
     return inner_->set_timer(delay, std::move(fn));
   }

@@ -38,6 +38,7 @@ struct Event {
   static Event local(EventType type, T body_value) {
     Event ev;
     ev.type = type;
+    // wirecheck:allow(hot.alloc): Type-erased body storage is the Event contract; local events are per-decision, not per wire message.
     ev.body = std::make_shared<T>(std::move(body_value));
     return ev;
   }

@@ -72,8 +72,10 @@ class Stack final : public runtime::Protocol {
   /// Adds a module (non-owning) and runs its init().
   void add(Module& module);
 
+  // wirecheck:allow(hot.function): Handlers are constructed once per module at bind() time, never per message.
   using EventHandler = std::function<void(const Event&)>;
   using WireHandler =
+      // wirecheck:allow(hot.function): Constructed once per module at bind_wire() time, never per message.
       std::function<void(util::ProcessId from, util::Payload payload)>;
 
   /// Registers a handler for a local event type. Multiple handlers fire in

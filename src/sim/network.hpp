@@ -63,9 +63,12 @@ struct NetCounters {
 class Network {
  public:
   using DeliverFn =
+      // wirecheck:allow(hot.function): Installed once per endpoint at world construction, invoked without reallocation.
       std::function<void(util::ProcessId from, util::Payload msg)>;
+  // wirecheck:allow(hot.function): Fault-injection hook installed once per campaign, not per message.
   using DelayInjector = std::function<util::Duration(
       util::ProcessId from, util::ProcessId to, std::size_t size)>;
+  // wirecheck:allow(hot.function): Fault-injection hook installed once per campaign, not per message.
   using DropFn = std::function<bool(util::ProcessId from, util::ProcessId to)>;
 
   /// `seed` feeds the network's own RNG stream (drop decisions); worlds pass

@@ -49,9 +49,7 @@ void ByteWriter::raw(std::span<const std::uint8_t> data) {
 
 void ByteReader::need(std::size_t n) const {
   if (data_.size() - pos_ < n) {
-    throw DecodeError("ByteReader: truncated buffer (need " +
-                      std::to_string(n) + " bytes, have " +
-                      std::to_string(data_.size() - pos_) + ")");
+    throw TruncatedReadError(pos_, n, data_.size() - pos_);
   }
 }
 

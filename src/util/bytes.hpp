@@ -30,6 +30,31 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// DecodeError thrown by ByteReader bounds checks. Carries the exact read
+/// position, the width the caller asked for, and what was left, so a wire
+/// regression failure names the offending field instead of just "truncated".
+class TruncatedReadError : public DecodeError {
+ public:
+  TruncatedReadError(std::size_t offset, std::size_t requested,
+                     std::size_t available)
+      : DecodeError("ByteReader: truncated read at offset " +
+                    std::to_string(offset) + ": requested " +
+                    std::to_string(requested) + " byte(s), " +
+                    std::to_string(available) + " available"),
+        offset_(offset),
+        requested_(requested),
+        available_(available) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t requested() const { return requested_; }
+  std::size_t available() const { return available_; }
+
+ private:
+  std::size_t offset_;
+  std::size_t requested_;
+  std::size_t available_;
+};
+
 /// Immutable ref-counted byte buffer with an (offset, length) view.
 ///
 /// An n-way broadcast serializes its message once into a Payload and hands

@@ -1,0 +1,30 @@
+// Tagged asymmetry: encoder writes u32 where the decoder reads u64.
+#include <cstdint>
+
+namespace fix {
+
+constexpr std::uint8_t kPing = 1;
+
+struct Codec {
+  void encode_ping(ByteWriter& w) const {
+    w.u8(kPing);
+    w.u32(seq_);
+    w.u64(stamp_);
+  }
+
+  void on_wire(ByteReader& r) {
+    switch (r.u8()) {
+      case kPing:
+        seq_ = r.u64();  // wrong width: encoder wrote u32
+        stamp_ = r.u64();
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::uint64_t seq_ = 0;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Format asymmetry: encoder writes a str where the decoder reads a blob.
+#include <cstdint>
+#include <string>
+
+namespace fix {
+
+void encode_record(ByteWriter& w, std::uint32_t id, const std::string& name) {
+  w.u32(id);
+  w.str(name);
+}
+
+void decode_record(ByteReader& r) {
+  r.u32();
+  r.blob();  // mismatched: encoder used str
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// Three broken allows: no justification, unknown rule, nothing to match.
+#pragma once
+
+namespace fix {
+
+struct Dispatcher {
+  // wirecheck:allow(hot.alloc):
+  void spawn() { buf_ = new char[64]; }
+  // wirecheck:allow(hot.bogus): no such rule exists
+  void grow() { big_ = new char[128]; }
+  // wirecheck:allow(hot.copy): nothing on the next line deep-copies
+  char* buf_ = nullptr;
+  char* big_ = nullptr;
+};
+
+}  // namespace fix

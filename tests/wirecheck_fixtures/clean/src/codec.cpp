@@ -1,0 +1,48 @@
+// Symmetric tagged codec: kPing is fixed-width, kPong exercises the
+// u32-length + position-slice ≡ blob normalization.
+#include <cstdint>
+
+namespace fix {
+
+constexpr std::uint8_t kPing = 1;
+constexpr std::uint8_t kPong = 2;
+
+struct Codec {
+  void encode_ping(ByteWriter& w) const {
+    w.u8(kPing);
+    w.u32(seq_);
+    w.u64(stamp_);
+  }
+
+  void encode_pong(ByteWriter& w) const {
+    w.u8(kPong);
+    w.u64(origin_);
+    w.blob(body_);
+  }
+
+  void on_wire(Payload msg) {
+    ByteReader r(msg);
+    switch (r.u8()) {
+      case kPing: {
+        seq_ = r.u32();
+        stamp_ = r.u64();
+        break;
+      }
+      case kPong: {
+        origin_ = r.u64();
+        const std::uint32_t len = r.u32();
+        body_ = msg.slice(r.position(), len);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::uint32_t seq_ = 0;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t origin_ = 0;
+  Payload body_;
+};
+
+}  // namespace fix

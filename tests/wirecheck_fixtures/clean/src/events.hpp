@@ -1,0 +1,14 @@
+// Event/module registry for the clean fixture.
+#pragma once
+#include <cstdint>
+
+namespace fix {
+
+using EventType = std::uint16_t;
+using ModuleId = std::uint8_t;
+
+inline constexpr EventType kEvTick = 1;
+inline constexpr EventType kEvApp = 2;
+inline constexpr ModuleId kModCodec = 7;
+
+}  // namespace fix

@@ -1,0 +1,21 @@
+// Hot-path file with no per-message allocation, std::function, or payload
+// deep-copy.
+#pragma once
+#include <array>
+#include <cstdint>
+
+namespace fix {
+
+class RingBuffer {
+ public:
+  void push(std::uint32_t v) { slots_[head_++ & kMask] = v; }
+  std::uint32_t pop() { return slots_[tail_++ & kMask]; }
+
+ private:
+  static constexpr std::uint32_t kMask = 63;
+  std::array<std::uint32_t, 64> slots_{};
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Untagged [format] pair: matched body-wide via the manifest entry.
+#include <cstdint>
+#include <string>
+
+namespace fix {
+
+struct Record {
+  std::uint32_t id = 0;
+  std::string name;
+};
+
+void encode_record(ByteWriter& w, const Record& rec) {
+  w.u32(rec.id);
+  w.str(rec.name);
+}
+
+Record decode_record(ByteReader& r) {
+  Record rec;
+  rec.id = r.u32();
+  rec.name = r.str();
+  return rec;
+}
+
+}  // namespace fix

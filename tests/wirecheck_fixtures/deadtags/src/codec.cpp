@@ -1,0 +1,35 @@
+// kUsed is symmetric; kSentOnly has no decoder branch; kHandledOnly has a
+// decoder branch but no sender.
+#include <cstdint>
+
+namespace fix {
+
+constexpr std::uint8_t kUsed = 1;
+constexpr std::uint8_t kSentOnly = 2;
+constexpr std::uint8_t kHandledOnly = 3;
+
+struct Codec {
+  void encode_used(ByteWriter& w) const {
+    w.u8(kUsed);
+    w.u32(x_);
+  }
+
+  void encode_orphan(ByteWriter& w) const {
+    w.u8(kSentOnly);
+    w.u64(y_);
+  }
+
+  void on_wire(ByteReader& r) {
+    const std::uint8_t kind = r.u8();
+    if (kind == kUsed) {
+      x_ = r.u32();
+    } else if (kind == kHandledOnly) {
+      y_ = r.u64();
+    }
+  }
+
+  std::uint32_t x_ = 0;
+  std::uint64_t y_ = 0;
+};
+
+}  // namespace fix

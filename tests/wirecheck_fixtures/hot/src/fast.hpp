@@ -1,0 +1,17 @@
+// Hot file: every construct below is a hot-path violation.
+#pragma once
+#include <functional>
+#include <memory>
+
+namespace fix {
+
+struct Dispatcher {
+  std::function<void(int)> fn_;                       // hot.function
+  void spawn() { buf_ = new char[64]; }               // hot.alloc
+  auto share() { return std::make_shared<int>(7); }   // hot.alloc
+  void clone(Payload p) { copy_ = p.to_bytes(); }     // hot.copy
+  char* buf_ = nullptr;
+  Bytes copy_;
+};
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Identical content to fast.hpp but not in the [hot] list: nothing fires.
+#pragma once
+#include <functional>
+#include <memory>
+
+namespace fix {
+
+struct SlowDispatcher {
+  std::function<void(int)> fn_;
+  void spawn() { buf_ = new char[64]; }
+  auto share() { return std::make_shared<int>(7); }
+  void clone(Payload p) { copy_ = p.to_bytes(); }
+  char* buf_ = nullptr;
+  Bytes copy_;
+};
+
+}  // namespace fix

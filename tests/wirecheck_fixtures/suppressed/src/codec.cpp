@@ -1,0 +1,24 @@
+// Deliberate asymmetry held down by a justified allow at the encoder site.
+#include <cstdint>
+
+namespace fix {
+
+constexpr std::uint8_t kMsg = 1;
+
+struct Codec {
+  void encode_msg(ByteWriter& w) const {
+    // wirecheck:allow(wire.asym): fixture: encoder kept narrow on purpose for the suppression test.
+    w.u8(kMsg);
+    w.u32(a_);
+  }
+
+  void on_wire(ByteReader& r) {
+    const std::uint8_t kind = r.u8();
+    if (kind != kMsg) return;
+    a_ = r.u64();
+  }
+
+  std::uint64_t a_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,12 @@
+// Hot-path violation held down by a justified allow.
+#pragma once
+#include <functional>
+
+namespace fix {
+
+struct Dispatcher {
+  // wirecheck:allow(hot.function): fixture: callback is bound once at init, never per message.
+  std::function<void(int)> fn_;
+};
+
+}  // namespace fix

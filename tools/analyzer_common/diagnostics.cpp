@@ -1,0 +1,71 @@
+#include "diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace analyzer {
+
+std::size_t Report::violations() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (!d.suppressed) ++n;
+  return n;
+}
+
+std::size_t Report::suppressions() const {
+  return diagnostics.size() - violations();
+}
+
+void Report::sort_stable() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Report& report, const std::string& tool,
+                    const std::string& root) {
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"tool\": \"" << json_escape(tool)
+      << "\",\n  \"root\": \"" << json_escape(root)
+      << "\",\n  \"summary\": {\"files_scanned\": " << report.files_scanned
+      << ", \"violations\": " << report.violations()
+      << ", \"suppressed\": " << report.suppressions()
+      << "},\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << json_escape(d.file)
+        << "\", \"line\": " << d.line << ", \"rule\": \"" << d.rule
+        << "\", \"suppressed\": " << (d.suppressed ? "true" : "false");
+    if (d.suppressed)
+      out << ", \"justification\": \"" << json_escape(d.justification) << "\"";
+    out << ", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  out << (report.diagnostics.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+}  // namespace analyzer

@@ -1,0 +1,41 @@
+// analyzer_common — diagnostics and report types shared by the analyzers.
+//
+// A Diagnostic carries file:line, a rule id, a message, and — when an
+// inline allow annotation matched — the suppression justification. Reports
+// serialize to the same JSON schema for every analyzer
+// ({version, tool, root, summary, diagnostics}), so CI consumers read one
+// format regardless of which tool produced it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace analyzer {
+
+struct Diagnostic {
+  std::string file;  ///< path relative to the scanned root
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;  ///< non-empty iff suppressed
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;  ///< stable order: file, then line
+  std::size_t files_scanned = 0;
+
+  std::size_t violations() const;  ///< diagnostics not suppressed
+  std::size_t suppressions() const;
+
+  /// Sorts diagnostics by (file, line), keeping insertion order within ties.
+  void sort_stable();
+};
+
+std::string json_escape(const std::string& s);
+
+/// Machine-readable report. `tool` names the producing analyzer.
+std::string to_json(const Report& report, const std::string& tool,
+                    const std::string& root);
+
+}  // namespace analyzer

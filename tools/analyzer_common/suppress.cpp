@@ -1,0 +1,83 @@
+#include "suppress.hpp"
+
+#include <utility>
+
+#include "lexer.hpp"
+
+namespace analyzer {
+
+std::vector<Suppression> collect_suppressions(
+    const std::string& tool, const std::set<std::string>& known_rules,
+    const std::string& file, const std::vector<std::string>& lines,
+    std::vector<Diagnostic>& out) {
+  std::vector<Suppression> sups;
+  const std::string marker = tool + ":allow(";
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    int lineno = static_cast<int>(li) + 1;
+    std::size_t at = line.find(marker);
+    if (at == std::string::npos) continue;
+    std::size_t open = at + marker.size() - 1;
+    std::size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      out.push_back({file, lineno, "meta.bad-suppression",
+                     "unterminated " + tool + ":allow(...)", false, ""});
+      continue;
+    }
+    std::string rule = trim(line.substr(open + 1, close - open - 1));
+    if (!known_rules.count(rule)) {
+      out.push_back({file, lineno, "meta.bad-suppression",
+                     tool + ":allow names unknown rule '" + rule + "'", false,
+                     ""});
+      continue;
+    }
+    std::string rest = trim(line.substr(close + 1));
+    if (rest.empty() || rest[0] != ':' || trim(rest.substr(1)).empty()) {
+      out.push_back({file, lineno, "meta.bad-suppression",
+                     tool + ":allow(" + rule +
+                         ") needs a justification: \"// " + tool + ":allow(" +
+                         rule + "): why this is safe\"",
+                     false, ""});
+      continue;
+    }
+    sups.push_back({lineno, rule, trim(rest.substr(1)), false});
+  }
+  return sups;
+}
+
+void apply_suppressions(const std::string& tool, const std::string& file,
+                        std::vector<Suppression>& sups,
+                        std::vector<Diagnostic>& pending,
+                        std::vector<Diagnostic>& out) {
+  for (Diagnostic& d : pending) {
+    for (Suppression& s : sups) {
+      if (s.rule != d.rule) continue;
+      if (d.line == s.line || d.line == s.line + 1) {
+        d.suppressed = true;
+        d.justification = s.justification;
+        s.used = true;
+        break;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  pending.clear();
+  for (const Suppression& s : sups) {
+    if (!s.used)
+      out.push_back({file, s.line, "meta.unused-suppression",
+                     tool + ":allow(" + s.rule +
+                         ") matches no diagnostic — delete it",
+                     false, ""});
+  }
+}
+
+void dedupe_by_line_rule(std::vector<Diagnostic>& pending) {
+  std::set<std::pair<int, std::string>> seen;
+  std::vector<Diagnostic> unique;
+  unique.reserve(pending.size());
+  for (Diagnostic& d : pending)
+    if (seen.insert({d.line, d.rule}).second) unique.push_back(std::move(d));
+  pending = std::move(unique);
+}
+
+}  // namespace analyzer

@@ -1,0 +1,50 @@
+// analyzer_common — the shared `<tool>:allow(rule): justification` lifecycle.
+//
+// Both analyzers accept inline suppressions of the form
+//   // modcheck:allow(det.rand): seed mixing is intentionally ambient
+//   // wirecheck:allow(wire.asym): decoder validates a trailing digest
+// An allow on line L suppresses matching diagnostics on L and L+1. The
+// lifecycle rules are deliberately strict and identical across tools:
+//   * missing/empty justification  -> meta.bad-suppression
+//   * unknown rule name            -> meta.bad-suppression
+//   * allow matching no diagnostic -> meta.unused-suppression (stale)
+// so suppressions cannot rot silently.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace analyzer {
+
+struct Suppression {
+  int line;  ///< covers this line and the next
+  std::string rule;
+  std::string justification;
+  bool used = false;
+};
+
+/// Extracts `<tool>:allow(...)` annotations from the raw source lines.
+/// Malformed annotations become meta.bad-suppression diagnostics in `out`.
+/// `known_rules` must contain every rule id the tool can emit (including
+/// the meta.* rules themselves).
+std::vector<Suppression> collect_suppressions(
+    const std::string& tool, const std::set<std::string>& known_rules,
+    const std::string& file, const std::vector<std::string>& lines,
+    std::vector<Diagnostic>& out);
+
+/// Applies `sups` to `pending` (same-rule allow on line L covers L and L+1),
+/// moves every pending diagnostic into `out`, and flags unused allows as
+/// meta.unused-suppression.
+void apply_suppressions(const std::string& tool, const std::string& file,
+                        std::vector<Suppression>& sups,
+                        std::vector<Diagnostic>& pending,
+                        std::vector<Diagnostic>& out);
+
+/// Collapses duplicate (line, rule) findings — e.g. .begin() and .end() on
+/// the same loop line are one problem, not two.
+void dedupe_by_line_rule(std::vector<Diagnostic>& pending);
+
+}  // namespace analyzer

@@ -1,8 +1,6 @@
 #include "modcheck.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -11,8 +9,23 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lexer.hpp"
+#include "suppress.hpp"
+
 namespace modcheck {
 namespace fs = std::filesystem;
+
+using analyzer::member_access;
+using analyzer::skip_template_args;
+using analyzer::split_lines;
+using analyzer::split_ws;
+using analyzer::std_qualified;
+using analyzer::strip_comments;
+using analyzer::Suppression;
+using analyzer::Token;
+using analyzer::tok_is;
+using analyzer::tokenize;
+using analyzer::trim;
 
 namespace {
 
@@ -22,21 +35,6 @@ const std::set<std::string> kKnownRules = {
     "det.unordered-iter",  "det.pointer-order",    "det.thread",
     "meta.bad-suppression", "meta.unused-suppression",
 };
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
-
-std::vector<std::string> split_ws(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream in(s);
-  std::string w;
-  while (in >> w) out.push_back(w);
-  return out;
-}
 
 }  // namespace
 
@@ -136,7 +134,6 @@ Manifest parse_manifest(std::istream& in) {
 
   // Validate: the declared edges form a DAG (depth-first cycle check).
   std::map<std::string, int> state;  // 0 unseen, 1 on stack, 2 done
-  std::vector<const Layer*> stack;
   std::function<void(const Layer&)> visit = [&](const Layer& l) {
     state[l.name] = 1;
     for (const std::string& d : l.deps) {
@@ -164,183 +161,10 @@ Manifest load_manifest(const fs::path& file) {
 }
 
 // ---------------------------------------------------------------------------
-// Lexing: comment/string stripping and tokenization
+// Per-file analysis
 // ---------------------------------------------------------------------------
 
 namespace {
-
-struct Token {
-  std::string text;
-  int line;
-  bool ident;
-};
-
-/// Removes comments and the contents of string/char literals while keeping
-/// line structure intact (so token line numbers match the source).
-std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block = false;
-  for (const std::string& line : lines) {
-    std::string code;
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) break;
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block = true;
-        i += 2;
-        continue;
-      }
-      char c = line[i];
-      if (c == '"' || c == '\'') {
-        char quote = c;
-        code += quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        code += quote;
-        continue;
-      }
-      code += c;
-      ++i;
-    }
-    out.push_back(code);
-  }
-  return out;
-}
-
-std::vector<Token> tokenize(const std::vector<std::string>& code_lines) {
-  std::vector<Token> toks;
-  for (std::size_t li = 0; li < code_lines.size(); ++li) {
-    const std::string& line = code_lines[li];
-    int lineno = static_cast<int>(li) + 1;
-    for (std::size_t i = 0; i < line.size();) {
-      char c = line[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-        continue;
-      }
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        std::size_t j = i;
-        while (j < line.size() &&
-               (std::isalnum(static_cast<unsigned char>(line[j])) ||
-                line[j] == '_'))
-          ++j;
-        toks.push_back({line.substr(i, j - i), lineno, true});
-        i = j;
-      } else if (std::isdigit(static_cast<unsigned char>(c))) {
-        std::size_t j = i;
-        while (j < line.size() &&
-               (std::isalnum(static_cast<unsigned char>(line[j])) ||
-                line[j] == '.' || line[j] == '\''))
-          ++j;
-        toks.push_back({line.substr(i, j - i), lineno, false});
-        i = j;
-      } else {
-        toks.push_back({std::string(1, c), lineno, false});
-        ++i;
-      }
-    }
-  }
-  return toks;
-}
-
-bool tok_is(const std::vector<Token>& t, std::size_t i, const char* s) {
-  return i < t.size() && t[i].text == s;
-}
-
-/// True when tokens[i] is qualified as std:: (i.e. preceded by "std::").
-bool std_qualified(const std::vector<Token>& t, std::size_t i) {
-  return i >= 3 && t[i - 1].text == ":" && t[i - 2].text == ":" &&
-         t[i - 3].text == "std";
-}
-
-/// True when tokens[i] is a member access (preceded by "." or "->").
-bool member_access(const std::vector<Token>& t, std::size_t i) {
-  if (i == 0) return false;
-  if (t[i - 1].text == ".") return true;
-  return i >= 2 && t[i - 1].text == ">" && t[i - 2].text == "-";
-}
-
-/// Skips a balanced <...> starting at the '<' at index i; returns the index
-/// just past the matching '>'. Returns i when tokens[i] is not '<'.
-std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
-  if (!tok_is(t, i, "<")) return i;
-  int depth = 0;
-  for (; i < t.size(); ++i) {
-    if (t[i].text == "<") ++depth;
-    if (t[i].text == ">" && --depth == 0) return i + 1;
-  }
-  return i;
-}
-
-// --- Suppressions -----------------------------------------------------------
-
-struct Suppression {
-  int line;  ///< covers this line and the next
-  std::string rule;
-  std::string justification;
-  bool used = false;
-};
-
-/// Extracts modcheck:allow(...) annotations from the raw source lines.
-/// Malformed annotations become meta.bad-suppression diagnostics.
-std::vector<Suppression> collect_suppressions(
-    const std::string& file, const std::vector<std::string>& lines,
-    std::vector<Diagnostic>& out) {
-  std::vector<Suppression> sups;
-  const std::string marker = "modcheck:allow(";
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& line = lines[li];
-    int lineno = static_cast<int>(li) + 1;
-    std::size_t at = line.find(marker);
-    if (at == std::string::npos) continue;
-    std::size_t open = at + marker.size() - 1;
-    std::size_t close = line.find(')', open);
-    if (close == std::string::npos) {
-      out.push_back({file, lineno, "meta.bad-suppression",
-                     "unterminated modcheck:allow(...)", false, ""});
-      continue;
-    }
-    std::string rule = trim(line.substr(open + 1, close - open - 1));
-    if (!kKnownRules.count(rule)) {
-      out.push_back({file, lineno, "meta.bad-suppression",
-                     "modcheck:allow names unknown rule '" + rule + "'",
-                     false, ""});
-      continue;
-    }
-    std::string rest = trim(line.substr(close + 1));
-    if (rest.empty() || rest[0] != ':' || trim(rest.substr(1)).empty()) {
-      out.push_back({file, lineno, "meta.bad-suppression",
-                     "modcheck:allow(" + rule +
-                         ") needs a justification: \"// modcheck:allow(" +
-                         rule + "): why this is safe\"",
-                     false, ""});
-      continue;
-    }
-    sups.push_back({lineno, rule, trim(rest.substr(1)), false});
-  }
-  return sups;
-}
-
-// --- Per-file analysis ------------------------------------------------------
 
 struct FileContext {
   std::string file;  ///< relative path used in diagnostics
@@ -576,19 +400,15 @@ void check_determinism(FileContext& ctx, const std::vector<Token>& toks) {
 void analyze_file(const std::string& relative_path, const std::string& text,
                   const Manifest& manifest, const fs::path& root,
                   std::vector<Diagnostic>& out) {
-  std::vector<std::string> lines;
-  {
-    std::istringstream in(text);
-    std::string line;
-    while (std::getline(in, line)) lines.push_back(line);
-  }
+  std::vector<std::string> lines = split_lines(text);
 
   FileContext ctx;
   ctx.file = relative_path;
   ctx.manifest = &manifest;
   ctx.layer = layer_of(manifest, relative_path);
   ctx.det = ctx.layer && manifest.deterministic(ctx.layer->name);
-  ctx.sups = collect_suppressions(relative_path, lines, out);
+  ctx.sups = analyzer::collect_suppressions("modcheck", kKnownRules,
+                                            relative_path, lines, out);
 
   if (!ctx.layer) {
     ctx.flag(1, "layer.unmapped",
@@ -599,36 +419,9 @@ void analyze_file(const std::string& relative_path, const std::string& text,
   check_includes(ctx, lines, code, root);
   if (ctx.det) check_determinism(ctx, tokenize(code));
 
-  // Collapse duplicate (line, rule) findings — e.g. .begin() and .end() on
-  // the same loop line are one problem, not two.
-  {
-    std::set<std::pair<int, std::string>> seen;
-    std::vector<Diagnostic> unique;
-    for (Diagnostic& d : ctx.pending)
-      if (seen.insert({d.line, d.rule}).second) unique.push_back(std::move(d));
-    ctx.pending = std::move(unique);
-  }
-
-  // Apply suppressions: an allow on line L covers L and L+1.
-  for (Diagnostic& d : ctx.pending) {
-    for (Suppression& s : ctx.sups) {
-      if (s.rule != d.rule) continue;
-      if (d.line == s.line || d.line == s.line + 1) {
-        d.suppressed = true;
-        d.justification = s.justification;
-        s.used = true;
-        break;
-      }
-    }
-    out.push_back(d);
-  }
-  for (const Suppression& s : ctx.sups) {
-    if (!s.used)
-      out.push_back({relative_path, s.line, "meta.unused-suppression",
-                     "modcheck:allow(" + s.rule +
-                         ") matches no diagnostic — delete it",
-                     false, ""});
-  }
+  analyzer::dedupe_by_line_rule(ctx.pending);
+  analyzer::apply_suppressions("modcheck", relative_path, ctx.sups,
+                               ctx.pending, out);
 }
 
 Report analyze(const fs::path& root, const Manifest& manifest) {
@@ -650,70 +443,12 @@ Report analyze(const fs::path& root, const Manifest& manifest) {
     analyze_file(rel, buf.str(), manifest, root, report.diagnostics);
     ++report.files_scanned;
   }
-  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     if (a.file != b.file) return a.file < b.file;
-                     return a.line < b.line;
-                   });
+  report.sort_stable();
   return report;
 }
 
-std::size_t Report::violations() const {
-  std::size_t n = 0;
-  for (const Diagnostic& d : diagnostics)
-    if (!d.suppressed) ++n;
-  return n;
-}
-
-std::size_t Report::suppressions() const {
-  return diagnostics.size() - violations();
-}
-
-// ---------------------------------------------------------------------------
-// JSON report
-// ---------------------------------------------------------------------------
-
-namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-}  // namespace
-
 std::string to_json(const Report& report, const std::string& root) {
-  std::ostringstream out;
-  out << "{\n  \"version\": 1,\n  \"root\": \"" << json_escape(root)
-      << "\",\n  \"summary\": {\"files_scanned\": " << report.files_scanned
-      << ", \"violations\": " << report.violations()
-      << ", \"suppressed\": " << report.suppressions()
-      << "},\n  \"diagnostics\": [";
-  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
-    const Diagnostic& d = report.diagnostics[i];
-    out << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << json_escape(d.file)
-        << "\", \"line\": " << d.line << ", \"rule\": \"" << d.rule
-        << "\", \"suppressed\": " << (d.suppressed ? "true" : "false");
-    if (d.suppressed)
-      out << ", \"justification\": \"" << json_escape(d.justification) << "\"";
-    out << ", \"message\": \"" << json_escape(d.message) << "\"}";
-  }
-  out << (report.diagnostics.empty() ? "]\n}\n" : "\n  ]\n}\n");
-  return out.str();
+  return analyzer::to_json(report, "modcheck", root);
 }
 
 }  // namespace modcheck

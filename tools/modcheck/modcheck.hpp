@@ -25,14 +25,17 @@
 //
 // The analyzer is deliberately a token-level scanner, not a full C++
 // front-end: it strips comments/strings, tokenizes, and pattern-matches.
-// That is enough for the rule families above, costs no dependencies, and
-// runs in milliseconds as a CTest test and CI step.
+// The scanning substrate (lexer, diagnostics, suppression lifecycle) lives
+// in tools/analyzer_common and is shared with wirecheck; this library holds
+// only the layer/determinism rule logic.
 #pragma once
 
 #include <filesystem>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "diagnostics.hpp"
 
 namespace modcheck {
 
@@ -52,14 +55,8 @@ namespace modcheck {
 //                       unknown rule
 // meta.unused-suppression  modcheck:allow matching no diagnostic
 
-struct Diagnostic {
-  std::string file;  ///< path relative to the scanned root
-  int line = 0;
-  std::string rule;
-  std::string message;
-  bool suppressed = false;
-  std::string justification;  ///< non-empty iff suppressed
-};
+using Diagnostic = analyzer::Diagnostic;
+using Report = analyzer::Report;
 
 struct Layer {
   std::string name;
@@ -85,14 +82,6 @@ struct Manifest {
 Manifest parse_manifest(std::istream& in);
 Manifest load_manifest(const std::filesystem::path& file);
 
-struct Report {
-  std::vector<Diagnostic> diagnostics;  ///< stable order: file, then line
-  std::size_t files_scanned = 0;
-
-  std::size_t violations() const;  ///< diagnostics not suppressed
-  std::size_t suppressions() const;
-};
-
 /// Scans every .hpp/.cpp under `root` against the manifest rules.
 Report analyze(const std::filesystem::path& root, const Manifest& manifest);
 
@@ -101,7 +90,8 @@ void analyze_file(const std::string& relative_path, const std::string& text,
                   const Manifest& manifest, const std::filesystem::path& root,
                   std::vector<Diagnostic>& out);
 
-/// Machine-readable report (schema: {version, root, summary, diagnostics}).
+/// Machine-readable report (schema: {version, tool, root, summary,
+/// diagnostics}).
 std::string to_json(const Report& report, const std::string& root);
 
 }  // namespace modcheck

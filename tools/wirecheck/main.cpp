@@ -1,0 +1,89 @@
+// wirecheck CLI.
+//
+//   wirecheck --root src --manifest tools/wirecheck/wire.toml
+//       [--json report.json] [--quiet]
+//
+// Prints one "file:line: rule — message" diagnostic per finding (suppressed
+// findings are listed with their justification unless --quiet) and exits
+// nonzero when any unsuppressed violation remains.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "wirecheck.hpp"
+
+int main(int argc, char** argv) {
+  std::string root, manifest_path, json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "wirecheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--manifest") {
+      manifest_path = value("--manifest");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: wirecheck --root <dir> --manifest <wire.toml> "
+                   "[--json <out>] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "wirecheck: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty() || manifest_path.empty()) {
+    std::cerr << "wirecheck: --root and --manifest are required (see --help)\n";
+    return 2;
+  }
+
+  wirecheck::Manifest manifest;
+  try {
+    manifest = wirecheck::load_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::cerr << "wirecheck: bad manifest: " << e.what() << "\n";
+    return 2;
+  }
+
+  wirecheck::Report report;
+  try {
+    report = wirecheck::analyze(root, manifest);
+  } catch (const std::exception& e) {
+    std::cerr << "wirecheck: " << e.what() << "\n";
+    return 2;
+  }
+
+  for (const wirecheck::Diagnostic& d : report.diagnostics) {
+    if (d.suppressed) {
+      if (!quiet)
+        std::cout << d.file << ":" << d.line << ": " << d.rule
+                  << " — suppressed: " << d.justification << "\n";
+      continue;
+    }
+    std::cout << d.file << ":" << d.line << ": " << d.rule << " — "
+              << d.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "wirecheck: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << wirecheck::to_json(report, root);
+  }
+
+  std::cout << "wirecheck: " << report.files_scanned << " files, "
+            << report.violations() << " violation(s), "
+            << report.suppressions() << " suppressed\n";
+  return report.violations() == 0 ? 0 : 1;
+}
