@@ -27,8 +27,9 @@ struct Variant {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"n", "load", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "json", "jobs", "trace-out"});
+                    with_batching_flags(
+                        {"n", "load", "size", "seeds", "warmup_s", "measure_s",
+                         "quick", "json", "jobs", "trace-out"}));
   BenchConfig bc = bench_config(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
   const double load = flags.get_double("load", 4000);
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
     pt.stack.opt_combine = v.combine;
     pt.stack.opt_piggyback = v.piggyback;
     pt.stack.opt_cheap_decision = v.cheap_decision;
+    apply_stack_tuning(bc, pt.stack);
     pt.workload = wl;
     pt.seeds = bc.seeds;
     points.push_back(pt);
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   workload::SweepPoint modular;
   modular.n = n;
   modular.stack.kind = core::StackKind::kModular;
+  apply_stack_tuning(bc, modular.stack);
   modular.workload = wl;
   modular.seeds = bc.seeds;
   points.push_back(modular);

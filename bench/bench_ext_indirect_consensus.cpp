@@ -16,8 +16,9 @@ using namespace modcast::bench;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"n", "size", "loads", "seeds", "warmup_s", "measure_s",
-                     "quick", "json", "jobs", "trace-out"});
+                    with_batching_flags(
+                        {"n", "size", "loads", "seeds", "warmup_s", "measure_s",
+                         "quick", "json", "jobs", "trace-out"}));
   BenchConfig bc = bench_config(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 3));
   const auto size = static_cast<std::size_t>(flags.get_int("size", 16384));
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
       workload::SweepPoint pt;
       pt.n = n;
       pt.stack = *row.opts;
+      apply_stack_tuning(bc, pt.stack);
       pt.workload.offered_load = static_cast<double>(load);
       pt.workload.message_size = size;
       pt.workload.warmup = util::from_seconds(bc.warmup_s);

@@ -16,8 +16,9 @@ using namespace modcast::bench;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"n_list", "load", "size", "seeds", "warmup_s",
-                     "measure_s", "quick", "json", "jobs", "trace-out"});
+                    with_batching_flags(
+                        {"n_list", "load", "size", "seeds", "warmup_s",
+                         "measure_s", "quick", "json", "jobs", "trace-out"}));
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list(
       "n_list", bc.quick ? std::vector<std::int64_t>{3, 7}
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
     pt.workload.measure = util::from_seconds(bc.measure_s);
     pt.workload.collect_metrics = !bc.trace_out.empty();
     pt.seeds = bc.seeds;
+    apply_stack_tuning(bc, pt.stack);
     pt.stack.kind = core::StackKind::kModular;
     points.push_back(pt);
     pt.stack.kind = core::StackKind::kMonolithic;

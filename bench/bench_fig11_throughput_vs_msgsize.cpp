@@ -17,8 +17,9 @@ using namespace modcast::bench;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"sizes", "load", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv", "json", "jobs", "trace-out"});
+                    with_batching_flags(
+                        {"sizes", "load", "seeds", "warmup_s", "measure_s",
+                         "quick", "csv", "json", "jobs", "trace-out"}));
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "size");
   JsonWriter json(flags, "fig11_throughput_vs_msgsize", "size", "throughput");

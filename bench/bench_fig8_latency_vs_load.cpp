@@ -16,8 +16,9 @@ using namespace modcast::bench;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"loads", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "csv", "json", "jobs", "trace-out"});
+                    with_batching_flags(
+                        {"loads", "size", "seeds", "warmup_s", "measure_s",
+                         "quick", "csv", "json", "jobs", "trace-out"}));
   BenchConfig bc = bench_config(flags);
   CsvWriter csv(flags, "load");
   JsonWriter json(flags, "fig8_latency_vs_load", "load", "latency_ms");

@@ -20,8 +20,9 @@ using namespace modcast::bench;
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
-                    {"n_list", "size", "seeds", "warmup_s", "measure_s",
-                     "quick", "json", "jobs", "validate", "trace-out"});
+                    with_batching_flags(
+                        {"n_list", "size", "seeds", "warmup_s", "measure_s",
+                         "quick", "json", "jobs", "validate", "trace-out"}));
   BenchConfig bc = bench_config(flags);
   const auto n_list = flags.get_int_list("n_list", {3, 5, 7});
   const auto size = static_cast<std::size_t>(flags.get_int("size", 1024));
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
     pt.stack.kind = core::StackKind::kModular;
     pt.stack.max_batch = 4;
     pt.stack.window = 4;
+    apply_stack_tuning(bc, pt.stack);
     points.push_back(pt);
     pt.stack.kind = core::StackKind::kMonolithic;
     points.push_back(pt);

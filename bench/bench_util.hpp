@@ -42,7 +42,26 @@ struct BenchConfig {
   /// --trace-out=<path>: append every measured point's trace-derived
   /// GroupMetrics to <path> as JSONL. Empty = metrics collection off.
   std::string trace_out;
+  /// Batching/pipelining overrides (--batch-count/--batch-bytes/
+  /// --batch-delay/--pipeline-depth). 0 keeps the bench's default — batch
+  /// count 1-equivalent behavior and strictly sequential instances, so
+  /// unmodified figure benches reproduce the paper byte-for-byte.
+  std::size_t batch_count = 0;
+  std::size_t batch_bytes = 0;
+  util::Duration batch_delay = 0;
+  std::size_t pipeline_depth = 0;
 };
+
+/// Appends the four batching/pipelining flags to a bench's known-flags list,
+/// so every figure bench accepts them uniformly.
+inline std::vector<std::string> with_batching_flags(
+    std::vector<std::string> flags) {
+  for (const char* f :
+       {"batch-count", "batch-bytes", "batch-delay", "pipeline-depth"}) {
+    flags.emplace_back(f);
+  }
+  return flags;
+}
 
 inline BenchConfig bench_config(const util::Flags& flags) {
   BenchConfig cfg;
@@ -53,7 +72,22 @@ inline BenchConfig bench_config(const util::Flags& flags) {
   cfg.measure_s = flags.get_double("measure_s", cfg.quick ? 1.5 : 3.0);
   cfg.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   cfg.trace_out = flags.get("trace-out", "");
+  cfg.batch_count = static_cast<std::size_t>(flags.get_int("batch-count", 0));
+  cfg.batch_bytes = static_cast<std::size_t>(flags.get_int("batch-bytes", 0));
+  cfg.batch_delay = flags.get_duration("batch-delay", 0);
+  cfg.pipeline_depth =
+      static_cast<std::size_t>(flags.get_int("pipeline-depth", 0));
   return cfg;
+}
+
+/// Applies the batching/pipelining overrides to a stack configuration.
+/// No-op with all four at their 0 defaults (byte-identical figure benches).
+inline void apply_stack_tuning(const BenchConfig& bc,
+                               core::StackOptions& stack) {
+  if (bc.batch_count > 0) stack.max_batch = bc.batch_count;
+  if (bc.batch_bytes > 0) stack.batch_bytes = bc.batch_bytes;
+  if (bc.batch_delay > 0) stack.batch_delay = bc.batch_delay;
+  if (bc.pipeline_depth > 0) stack.pipeline_depth = bc.pipeline_depth;
 }
 
 inline workload::SweepPoint sweep_point(const Curve& curve,
@@ -63,6 +97,7 @@ inline workload::SweepPoint sweep_point(const Curve& curve,
   workload::SweepPoint pt;
   pt.n = curve.n;
   pt.stack.kind = curve.kind;
+  apply_stack_tuning(bc, pt.stack);
   pt.workload.offered_load = offered_load;
   pt.workload.message_size = message_size;
   pt.workload.warmup = util::from_seconds(bc.warmup_s);

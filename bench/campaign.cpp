@@ -3,10 +3,14 @@
 // Every scenario runs under load with the FaultInjector armed and the
 // online SafetyChecker attached; after the drain the checker's finalize
 // verdict (uniform agreement/integrity/total order/validity) decides
-// pass/fail. The process exits nonzero if ANY scenario reports a safety
+// pass/fail. The battery runs twice: once with the default stack template
+// (batch 1-equivalent, sequential instances) and once batched + pipelined
+// at 4x load, so crashes, partitions, and churn land mid-batch and
+// mid-pipeline. The process exits nonzero if ANY scenario reports a safety
 // violation, which is what makes this binary a CI gate.
 //
 // Flags: --n=3 --load=600 --size=1024 --jobs=N --quick --json=<path|none>
+//        --batched_load=L (second battery's load; default 4x --load)
 //        --verbose (print per-scenario fault logs and violation details)
 #include <cstdio>
 #include <string>
@@ -21,7 +25,7 @@ using namespace modcast::bench;
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"n", "load", "size", "jobs", "quick", "json", "verbose",
-                     "run_for_ms", "drain_ms", "seed"});
+                     "run_for_ms", "drain_ms", "seed", "batched_load"});
   const bool quick = flags.get_bool("quick", false);
   const bool verbose = flags.get_bool("verbose", false);
 
@@ -38,24 +42,37 @@ int main(int argc, char** argv) {
   const auto schedules = workload::standard_fault_schedules(cfg.n);
   const std::vector<core::StackKind> kinds = {core::StackKind::kMonolithic,
                                               core::StackKind::kModular};
+
+  // Second battery: the same schedules under the batched + pipelined stack
+  // template, at a load high enough that batches and the pipeline stay full,
+  // so every fault fires mid-batch and mid-pipeline.
+  workload::CampaignConfig batched = cfg;
+  batched.stack = workload::CampaignConfig::campaign_batched_stack_defaults();
+  batched.offered_load = flags.get_double("batched_load", 4 * cfg.offered_load);
+
   const auto results = workload::run_campaign(cfg, schedules, kinds, jobs);
+  const auto batched_results =
+      workload::run_campaign(batched, schedules, kinds, jobs);
 
   std::printf("== Fault-injection campaign ==\n");
   std::printf("n = %zu, load = %.0f msgs/s, size = %zu B, seed = %llu; "
-              "%zu scenarios x %zu stacks\n\n",
+              "%zu scenarios x %zu stacks x 2 configs\n\n",
               cfg.n, cfg.offered_load, cfg.message_size,
               static_cast<unsigned long long>(cfg.seed), schedules.size(),
               kinds.size());
+
+  std::size_t failures = 0;
+  std::string json_rows;
+  auto print_battery = [&](const char* config_name,
+                           const std::vector<workload::ScenarioResult>& rs) {
+  std::printf("-- config: %s --\n", config_name);
   std::printf("%-24s | %-10s | %-7s | %9s | %9s | %10s | %6s\n", "scenario",
               "stack", "verdict", "committed", "recov ms", "max gap ms",
               "stalls");
   std::printf("-------------------------+------------+---------+-----------+"
               "-----------+------------+-------\n");
-
-  std::size_t failures = 0;
-  std::string json_rows;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
     if (!r.safety_ok) ++failures;
     std::printf("%-24s | %-10s | %-7s | %9llu | %9.1f | %10.1f | %6zu\n",
                 r.name.c_str(), core::to_string(r.kind),
@@ -91,9 +108,16 @@ int main(int argc, char** argv) {
         r.pre_fault_latency_ms.count() ? r.pre_fault_latency_ms.mean() : 0.0,
         r.post_fault_latency_ms.count() ? r.post_fault_latency_ms.mean()
                                         : 0.0);
-    if (i > 0) json_rows += ", ";
+    if (!json_rows.empty()) json_rows += ", ";
     json_rows += buf;
+    json_rows.insert(json_rows.size() - 1,
+                     std::string(", \"config\": \"") + config_name + "\"");
   }
+  std::printf("\n");
+  };
+
+  print_battery("default", results);
+  print_battery("batched+pipelined", batched_results);
 
   if (flags.get("json", "") != "none") {
     char head[160];
@@ -105,8 +129,9 @@ int main(int argc, char** argv) {
                       flags.get("json", ""));
   }
 
+  const std::size_t total = results.size() + batched_results.size();
   std::printf("\n%zu/%zu scenario runs passed the atomic broadcast contract\n",
-              results.size() - failures, results.size());
+              total - failures, total);
   if (failures > 0) {
     std::printf("CAMPAIGN FAILED: %zu run(s) violated safety\n", failures);
     return 1;

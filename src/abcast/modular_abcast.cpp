@@ -37,13 +37,10 @@ void ModularAbcast::on_propose_request(std::uint64_t k) {
   if (k < next_decide_) return;  // already decided and applied
   // A recovery-round coordinator needs our initial value for instance k.
   // Propose whatever we currently hold — possibly an empty batch ("starts a
-  // consensus even if no message arrives", §3.3).
-  std::vector<AppMessage> batch;
-  for (const AppMessage& m : pending_fifo_) {
-    if (pending_ids_.count(m.id) == 0) continue;
-    if (batch.size() >= config_.max_batch) break;
-    batch.push_back(m);
-  }
+  // consensus even if no message arrives", §3.3). In-flight messages are
+  // included: a recovery proposal must cover everything we hold, and
+  // duplicates across instances are filtered at delivery.
+  std::vector<AppMessage> batch = batcher_.peek(config_.max_batch);
   next_instance_ = std::max(next_instance_, k + 1);
   framework::TraceScope scope(*stack_, k, batch_app_bytes(batch));
   stack_->raise(framework::Event::local(
@@ -93,9 +90,7 @@ void ModularAbcast::diffuse(const AppMessage& m) {
 
 void ModularAbcast::add_pending(AppMessage m) {
   if (delivered_.seen(m.id.origin, m.id.seq)) return;
-  if (pending_ids_.count(m.id) != 0) return;
-  pending_ids_.insert(m.id);
-  pending_fifo_.push_back(std::move(m));
+  if (!batcher_.add(std::move(m), stack_->rt().now())) return;  // duplicate
   maybe_propose();
 }
 
@@ -148,33 +143,41 @@ void ModularAbcast::on_wire(util::ProcessId from, util::Payload msg) {
 }
 
 void ModularAbcast::maybe_propose() {
-  if (next_instance_ != next_decide_) return;  // an instance is in flight
-  if (pending_ids_.empty()) return;
-
-  // Collect up to max_batch live entries in arrival order. Dead entries
-  // (already delivered) are compacted away as we walk.
-  std::vector<AppMessage> batch;
-  std::deque<AppMessage> keep;
-  while (!pending_fifo_.empty()) {
-    AppMessage& m = pending_fifo_.front();
-    if (pending_ids_.count(m.id) != 0 && batch.size() < config_.max_batch) {
-      batch.push_back(m);
-      keep.push_back(std::move(m));
-    } else if (pending_ids_.count(m.id) != 0) {
-      keep.push_back(std::move(m));
+  while (true) {
+    // Pipelining gate: at most pipeline_depth instances undecided at once
+    // (depth 1 = the paper's strictly sequential instances).
+    if (next_instance_ - next_decide_ >= config_.pipeline_depth) return;
+    if (batcher_.eligible() == 0) return;
+    const util::TimePoint now = stack_->rt().now();
+    if (!batcher_.ready(now)) {
+      arm_batch_timer(now);
+      return;
     }
-    pending_fifo_.pop_front();
-  }
-  pending_fifo_ = std::move(keep);
-  if (batch.empty()) return;
+    std::vector<AppMessage> batch = batcher_.cut(next_instance_);
+    if (batch.empty()) return;
 
-  const std::uint64_t k = next_instance_++;
-  // Synchronous raise: the scope also covers the consensus module's
-  // round-1 proposal fan-out if this process coordinates k.
-  framework::TraceScope scope(*stack_, k, batch_app_bytes(batch));
-  stack_->raise(framework::Event::local(
-      framework::kEvPropose,
-      framework::ConsensusValueBody{k, encode_value(batch)}));
+    const std::uint64_t k = next_instance_++;
+    stats_.max_inflight_instances =
+        std::max<std::uint64_t>(stats_.max_inflight_instances,
+                                next_instance_ - next_decide_);
+    // Synchronous raise: the scope also covers the consensus module's
+    // round-1 proposal fan-out if this process coordinates k.
+    framework::TraceScope scope(*stack_, k, batch_app_bytes(batch));
+    stack_->raise(framework::Event::local(
+        framework::kEvPropose,
+        framework::ConsensusValueBody{k, encode_value(batch)}));
+  }
+}
+
+void ModularAbcast::arm_batch_timer(util::TimePoint now) {
+  // δ-time trigger: wake when the oldest eligible message has aged out.
+  if (batch_timer_ != runtime::kInvalidTimer) return;
+  const util::TimePoint due = batcher_.deadline();
+  const util::Duration wait = due > now ? due - now : 1;
+  batch_timer_ = stack_->rt().set_timer(wait, [this] {
+    batch_timer_ = runtime::kInvalidTimer;
+    maybe_propose();
+  });
 }
 
 util::Bytes ModularAbcast::encode_value(
@@ -230,7 +233,7 @@ void ModularAbcast::apply_ready_decisions() {
     for (AppMessage& m : batch) {
       if (!delivered_.mark(m.id.origin, m.id.seq)) continue;  // dup across k
       seen_.mark(m.id.origin, m.id.seq);
-      pending_ids_.erase(m.id);
+      batcher_.mark_ordered(m.id);
       if (m.id.origin == stack_->self() && in_flight_ > 0) --in_flight_;
       if (config_.indirect_consensus) retain_delivered(m.id);
       ++stats_.delivered;
@@ -238,6 +241,10 @@ void ModularAbcast::apply_ready_decisions() {
       if (deliver_) deliver_(m.id.origin, m.id.seq, m.payload);
     }
     ++stats_.instances_completed;
+    // Clear the in-flight marks only now that the decision is APPLIED: a
+    // decision buffered out of instance order must keep its messages marked,
+    // or they would be re-proposed and the exact §5.2 accounting breaks.
+    batcher_.on_decided(next_decide_);
     ++next_decide_;
     next_instance_ = std::max(next_instance_, next_decide_);
     stack_->rt().charge_cpu(config_.instance_overhead);
@@ -328,14 +335,12 @@ void ModularAbcast::arm_liveness_timer() {
   stack_->rt().set_timer(config_.liveness_timeout, [this] {
     const util::TimePoint now = stack_->rt().now();
     if (now - last_activity_ >= config_.liveness_timeout &&
-        !pending_ids_.empty()) {
+        !batcher_.empty()) {
       // §3.3: silence while holding unordered messages — the sender of some
       // of them may have crashed mid-diffusion. Re-diffuse what we hold and
       // start a consensus ourselves.
       ++stats_.liveness_kicks;
-      for (const AppMessage& m : pending_fifo_) {
-        if (pending_ids_.count(m.id) != 0) diffuse(m);
-      }
+      batcher_.for_each_live([this](const AppMessage& m) { diffuse(m); });
       maybe_propose();
     }
     arm_liveness_timer();

@@ -19,6 +19,15 @@
 // locally and are admitted when slots free up. Batches are capped at
 // `max_batch`, so at saturation consensus orders M = max_batch messages per
 // instance (the paper tunes M = 4).
+//
+// Throughput extensions (off by default, preserving the paper's behavior):
+//   * adb::Batcher batching — proposals close under a count / payload-byte /
+//     δ-time trigger instead of eagerly, amortizing the per-instance cost
+//     over many messages;
+//   * k-deep instance pipelining — up to `pipeline_depth` instances may be
+//     undecided at once; decisions arriving out of instance order buffer in
+//     the reorder window (ready_decisions_) and deliveries are still
+//     released strictly in instance order.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,7 @@
 #include <map>
 #include <set>
 
+#include "adb/batcher.hpp"
 #include "adb/types.hpp"
 #include "framework/stack.hpp"
 #include "util/seq_tracker.hpp"
@@ -50,6 +60,15 @@ struct AbcastConfig {
   std::size_t window = 2;
   /// Maximum messages per consensus proposal (the paper's M).
   std::size_t max_batch = 4;
+  /// Payload-byte cap/trigger for a proposal batch; 0 disables.
+  std::size_t batch_bytes = 0;
+  /// δ-time aggregation window: a non-full batch waits this long for more
+  /// messages before being proposed. 0 = propose eagerly (the paper's
+  /// behavior).
+  util::Duration batch_delay = 0;
+  /// Consensus instances that may be undecided at once (k-deep
+  /// pipelining). 1 = strictly sequential instances (the paper's behavior).
+  std::size_t pipeline_depth = 1;
   /// §3.3 "t": silence period after which a process holding unordered
   /// messages starts a consensus on its own.
   util::Duration liveness_timeout = util::milliseconds(500);
@@ -80,6 +99,7 @@ struct AbcastStats {
   std::uint64_t liveness_kicks = 0;      ///< §3.3 timer firings that acted
   std::uint64_t payload_pulls = 0;       ///< indirect: pull requests sent
   std::uint64_t validation_deferrals = 0;  ///< indirect: validator said "not yet"
+  std::uint64_t max_inflight_instances = 0;  ///< pipelining high-water mark
 };
 
 class ModularAbcast final : public framework::Module {
@@ -91,7 +111,12 @@ class ModularAbcast final : public framework::Module {
   /// latency: the instant abcast(m) completes).
   using AdmitFn = std::function<void(std::uint64_t)>;
 
-  explicit ModularAbcast(AbcastConfig config = {}) : config_(config) {}
+  explicit ModularAbcast(AbcastConfig config = {})
+      : config_(config),
+        batcher_(adb::BatchPolicy{config.max_batch, config.batch_bytes,
+                                  config.batch_delay}) {
+    if (config_.pipeline_depth == 0) config_.pipeline_depth = 1;
+  }
 
   std::string_view name() const override { return "modular-abcast"; }
   void init(framework::Stack& stack) override;
@@ -108,7 +133,7 @@ class ModularAbcast final : public framework::Module {
   const AbcastStats& stats() const { return stats_; }
   std::size_t queued() const { return app_queue_.size(); }
   std::size_t in_flight() const { return in_flight_; }
-  std::size_t unordered() const { return pending_ids_.size(); }
+  std::size_t unordered() const { return batcher_.live(); }
   std::uint64_t next_instance() const { return next_instance_; }
 
   /// Indirect-consensus validator ([12]): true iff every id in `value` is
@@ -124,6 +149,7 @@ class ModularAbcast final : public framework::Module {
   void admit_queued();
   void add_pending(AppMessage m);
   void maybe_propose();
+  void arm_batch_timer(util::TimePoint now);
   void apply_ready_decisions();
   void diffuse(const AppMessage& m);
   void arm_liveness_timer();
@@ -147,8 +173,7 @@ class ModularAbcast final : public framework::Module {
   std::size_t in_flight_ = 0;          ///< own admitted, not yet adelivered
   std::deque<util::Bytes> app_queue_;  ///< own messages awaiting admission
 
-  std::deque<AppMessage> pending_fifo_;  ///< unordered pool, arrival order
-  std::set<MsgId> pending_ids_;          ///< live ids in pending_fifo_
+  adb::Batcher batcher_;  ///< unordered pool + batch trigger + in-flight marks
   util::SeqTracker delivered_;
   util::SeqTracker seen_;  ///< every id ever admitted/received (dedup)
 
@@ -157,6 +182,7 @@ class ModularAbcast final : public framework::Module {
   std::map<std::uint64_t, util::Bytes> ready_decisions_;
 
   util::TimePoint last_activity_ = 0;
+  runtime::TimerId batch_timer_ = runtime::kInvalidTimer;  ///< δ-time trigger
   AbcastStats stats_;
 
   // Indirect-consensus state (unused when indirect_consensus is off).

@@ -1,0 +1,94 @@
+#include "adb/batcher.hpp"
+
+namespace modcast::adb {
+
+bool Batcher::add(AppMessage m, util::TimePoint now) {
+  if (!ids_.insert(m.id).second) return false;
+  fifo_.push_back(Entry{std::move(m), now});
+  return true;
+}
+
+std::size_t Batcher::eligible() const {
+  std::size_t live_proposed = 0;
+  for (const MsgId& id : proposed_) {
+    if (ids_.count(id) != 0) ++live_proposed;
+  }
+  return ids_.size() - live_proposed;
+}
+
+bool Batcher::ready(util::TimePoint now) const {
+  std::size_t count = 0;
+  std::size_t bytes = 0;
+  bool have_oldest = false;
+  util::TimePoint oldest = 0;
+  for (const Entry& e : fifo_) {
+    if (ids_.count(e.msg.id) == 0 || in_flight(e.msg.id)) continue;
+    if (!have_oldest) {
+      have_oldest = true;
+      oldest = e.added_at;
+    }
+    if (policy_.max_delay == 0) return true;  // eager (legacy) mode
+    ++count;
+    bytes += e.msg.payload.size();
+    if (count >= policy_.max_count) return true;
+    if (policy_.max_bytes > 0 && bytes >= policy_.max_bytes) return true;
+  }
+  if (!have_oldest) return false;
+  return now - oldest >= policy_.max_delay;
+}
+
+util::TimePoint Batcher::deadline() const {
+  for (const Entry& e : fifo_) {
+    if (ids_.count(e.msg.id) == 0 || in_flight(e.msg.id)) continue;
+    return e.added_at + policy_.max_delay;
+  }
+  return 0;
+}
+
+std::vector<AppMessage> Batcher::cut(std::uint64_t k) {
+  std::vector<AppMessage> batch;
+  std::size_t batch_bytes = 0;
+  std::deque<Entry> keep;
+  while (!fifo_.empty()) {
+    Entry& e = fifo_.front();
+    if (ids_.count(e.msg.id) != 0) {
+      const bool room =
+          batch.size() < policy_.max_count &&
+          (policy_.max_bytes == 0 || batch_bytes < policy_.max_bytes);
+      if (room && !in_flight(e.msg.id)) {
+        batch.push_back(e.msg);
+        batch_bytes += e.msg.payload.size();
+      }
+      keep.push_back(std::move(e));
+    }
+    fifo_.pop_front();
+  }
+  fifo_ = std::move(keep);
+  if (!batch.empty()) {
+    auto& marks = in_flight_[k];
+    for (const AppMessage& m : batch) {
+      proposed_.insert(m.id);
+      marks.push_back(m.id);
+    }
+  }
+  return batch;
+}
+
+void Batcher::on_decided(std::uint64_t k) {
+  auto it = in_flight_.find(k);
+  if (it == in_flight_.end()) return;
+  for (const MsgId& id : it->second) proposed_.erase(id);
+  in_flight_.erase(it);
+}
+
+std::vector<AppMessage> Batcher::peek(std::size_t cap) const {
+  std::vector<AppMessage> batch;
+  for (const Entry& e : fifo_) {
+    if (ids_.count(e.msg.id) == 0) continue;
+    if (batch.size() >= cap) break;
+    batch.push_back(e.msg);
+  }
+  return batch;
+}
+
+}  // namespace modcast::adb

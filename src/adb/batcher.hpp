@@ -1,0 +1,121 @@
+// ADB proposal batcher: the pending-message pool both atomic broadcast
+// stacks draw consensus proposals from, plus the trigger policy deciding
+// WHEN a batch is worth proposing.
+//
+// Historically each stack kept its own deque+set pool with a count-only cap
+// (propose eagerly, up to max_batch messages). Batching for throughput adds
+// two more triggers — a payload-byte threshold and a δ-time aggregation
+// window — and instance pipelining adds bookkeeping for messages already
+// proposed in a still-undecided instance (they must not be re-proposed in a
+// later instance, or the exact per-run accounting of §5.2 breaks). That
+// bookkeeping is protocol-agnostic data management, so it lives in the adb
+// service layer, shared by both stacks — exactly like the batch wire format.
+//
+// Pool semantics (kept bit-compatible with the legacy per-stack pools):
+//   * entries stay in the pool until marked ordered (delivery), even while
+//     riding an in-flight proposal;
+//   * removal is lazy: mark_ordered() drops the id, the dead entry is
+//     compacted away by the next cut();
+//   * iteration (for re-diffusion / recovery estimates) walks live entries
+//     in arrival order.
+//
+// With the default policy (max_delay = 0, max_bytes = 0) and no in-flight
+// instances, cut() reproduces the legacy compacting walk byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "adb/types.hpp"
+#include "util/time.hpp"
+
+namespace modcast::adb {
+
+/// When is a pending pool "ready" to be cut into a proposal, and how large
+/// may the cut get. A batch closes as soon as ANY trigger fires.
+struct BatchPolicy {
+  /// Count cap/trigger (the paper's M).
+  std::size_t max_count = 4;
+  /// Payload-byte cap/trigger; 0 disables the byte dimension.
+  std::size_t max_bytes = 0;
+  /// δ-time aggregation window: a non-full batch waits until its oldest
+  /// eligible message is this old. 0 = cut eagerly (legacy behavior).
+  util::Duration max_delay = 0;
+};
+
+class Batcher {
+ public:
+  Batcher() = default;
+  explicit Batcher(BatchPolicy policy) : policy_(policy) {}
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// Adds a message to the pool. Returns false on duplicate (id already
+  /// live). `now` timestamps the entry for the δ-time trigger.
+  bool add(AppMessage m, util::TimePoint now);
+
+  /// Marks a message ordered (delivered): it stops being live. The entry is
+  /// compacted away lazily by the next cut().
+  void mark_ordered(const MsgId& id) { ids_.erase(id); }
+
+  bool contains(const MsgId& id) const { return ids_.count(id) != 0; }
+  /// Live entries, including those riding an in-flight proposal.
+  std::size_t live() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  /// Live entries NOT in any in-flight proposal — what the next cut() can
+  /// draw from.
+  std::size_t eligible() const;
+
+  /// True when the eligible pool should be proposed now: it is non-empty
+  /// AND (max_delay is 0, or the count/byte cap is reached, or the oldest
+  /// eligible message has waited max_delay).
+  bool ready(util::TimePoint now) const;
+  /// Instant the δ-time trigger fires for the current oldest eligible
+  /// entry. Meaningful only when eligible() > 0 and !ready().
+  util::TimePoint deadline() const;
+
+  /// Cuts a batch for instance k: up to the policy caps of eligible
+  /// messages in arrival order, marked in flight under k so later cuts skip
+  /// them. Compacts dead entries as it walks (the legacy walk).
+  std::vector<AppMessage> cut(std::uint64_t k);
+
+  /// Instance k reached a decision that was applied: its in-flight marks
+  /// drop, so any of its messages the decision did NOT order become
+  /// eligible again.
+  void on_decided(std::uint64_t k);
+
+  /// Instances with an in-flight (cut, undecided) proposal.
+  std::size_t instances_in_flight() const { return in_flight_.size(); }
+
+  /// Live entries in arrival order (re-diffusion, recovery estimates).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const Entry& e : fifo_) {
+      if (ids_.count(e.msg.id) != 0) fn(e.msg);
+    }
+  }
+
+  /// Up to `cap` live entries in arrival order, in-flight ones included —
+  /// recovery proposals must cover everything we hold (duplicates across
+  /// instances are filtered at delivery). Does not compact or mark.
+  std::vector<AppMessage> peek(std::size_t cap) const;
+
+ private:
+  struct Entry {
+    AppMessage msg;
+    util::TimePoint added_at = 0;
+  };
+
+  bool in_flight(const MsgId& id) const { return proposed_.count(id) != 0; }
+
+  BatchPolicy policy_;
+  std::deque<Entry> fifo_;  ///< arrival order; may hold dead entries
+  std::set<MsgId> ids_;     ///< live ids
+  std::set<MsgId> proposed_;  ///< ids riding an undecided proposal
+  std::map<std::uint64_t, std::vector<MsgId>> in_flight_;  ///< per instance
+};
+
+}  // namespace modcast::adb

@@ -35,4 +35,28 @@ std::uint64_t rbcast_messages_majority(std::uint64_t n) {
   return (n - 1) * ((n - 1) / 2 + 1);
 }
 
+std::uint64_t modular_messages_per_run(std::uint64_t n, std::uint64_t t,
+                                       std::uint64_t i) {
+  return (n - 1) * t + i * modular_messages_per_consensus(n, 0);
+}
+
+std::uint64_t monolithic_messages_per_run(std::uint64_t n, std::uint64_t i,
+                                          std::uint64_t standalone_tags) {
+  return i * monolithic_messages_per_consensus(n) +
+         standalone_tags * (n - 1);
+}
+
+std::uint64_t monolithic_drain_tags(std::uint64_t i, std::uint64_t depth) {
+  return depth < i ? depth : i;
+}
+
+double modular_data_per_run(std::uint64_t n, std::uint64_t t, double l) {
+  return 2.0 * static_cast<double>(n - 1) * static_cast<double>(t) * l;
+}
+
+double monolithic_data_per_run(std::uint64_t n, std::uint64_t t, double l) {
+  const double nd = static_cast<double>(n);
+  return (nd - 1.0) * (1.0 + 1.0 / nd) * static_cast<double>(t) * l;
+}
+
 }  // namespace modcast::analysis

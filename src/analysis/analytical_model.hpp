@@ -41,4 +41,38 @@ std::uint64_t rbcast_messages_classic(std::uint64_t n);
 /// (n−1)(⌊(n−1)/2⌋ + 1) = (n−1)·⌊(n+1)/2⌋.
 std::uint64_t rbcast_messages_majority(std::uint64_t n);
 
+// --- Batch-aware run-level forms -----------------------------------------
+//
+// With batching and pipelining, per-instance batch sizes M_k vary, so the
+// per-consensus forms above generalize to whole-run counts over I instances
+// ordering T application messages in total (T = ΣM_k). The §5.2 structure
+// is unchanged: batching only shifts how T distributes over I — larger
+// batches mean fewer instances for the same T, which is exactly where the
+// throughput win comes from.
+
+/// Total good-run protocol messages, modular stack, for a drained run of I
+/// instances ordering T messages: diffusion (n−1)·T plus I executions of
+/// the M-independent consensus machinery, (n−1)(2 + ⌊(n+1)/2⌋) each.
+std::uint64_t modular_messages_per_run(std::uint64_t n, std::uint64_t t,
+                                       std::uint64_t i);
+
+/// Total good-run protocol messages, monolithic stack (all opts on):
+/// 2(n−1) per instance plus (n−1) per standalone decision tag.
+std::uint64_t monolithic_messages_per_run(std::uint64_t n, std::uint64_t i,
+                                          std::uint64_t standalone_tags);
+
+/// Standalone decision tags a drained saturated monolithic run closes
+/// with, at pipeline depth d: the final min(d, I) decisions find no next
+/// proposal to ride (the pool is drained), so each goes out standalone.
+std::uint64_t monolithic_drain_tags(std::uint64_t i, std::uint64_t depth);
+
+/// Total good-run app-payload bytes on the wire, modular stack: every
+/// payload crosses the wire twice per receiver — diffusion + decision.
+double modular_data_per_run(std::uint64_t n, std::uint64_t t, double l);
+
+/// Total good-run app-payload bytes, monolithic stack: each payload rides
+/// one proposal to n−1 receivers, plus the (1/n-weighted) forward leg to
+/// the coordinator for messages not originated there.
+double monolithic_data_per_run(std::uint64_t n, std::uint64_t t, double l);
+
 }  // namespace modcast::analysis

@@ -67,8 +67,36 @@ bool ChandraTouegConsensus::suspects(util::ProcessId q) const {
 ChandraTouegConsensus::Instance& ChandraTouegConsensus::instance(
     std::uint64_t k) {
   auto [it, inserted] = instances_.try_emplace(k);
-  if (inserted) it->second.k = k;
+  if (inserted) {
+    it->second.k = k;
+    // Born decided: with pipelined callers an instance may be touched after
+    // its decision arrived (and its bookkeeping was pruned); it must not
+    // look open, or stale round machinery could run for it.
+    if (decisions_.count(k) != 0) it->second.decided = true;
+    std::size_t open = 0;
+    for (const auto& [kk, other] : instances_) {
+      if (!other.decided) ++open;
+    }
+    stats_.max_open_instances =
+        std::max<std::uint64_t>(stats_.max_open_instances, open);
+  }
   return it->second;
+}
+
+void ChandraTouegConsensus::record_estimate(Instance& inst,
+                                            std::uint32_t round,
+                                            util::ProcessId sender,
+                                            std::uint32_t ts,
+                                            util::Bytes value) {
+  auto& ests = inst.estimates[round];
+  for (auto& e : ests) {
+    if (e.sender == sender) {
+      e.ts = ts;
+      e.value = std::move(value);
+      return;
+    }
+  }
+  ests.push_back(Instance::EstimateEntry{sender, ts, std::move(value)});
 }
 
 const util::Bytes* ChandraTouegConsensus::decision(std::uint64_t k) const {
@@ -199,8 +227,8 @@ void ChandraTouegConsensus::advance_round(Instance& inst) {
     const util::ProcessId c = coordinator(inst.round);
     if (c == stack_->self()) {
       if (inst.has_initial && inst.own_estimate_added.insert(inst.round).second) {
-        inst.estimates[inst.round].emplace_back(inst.estimate_ts,
-                                                inst.estimate);
+        record_estimate(inst, inst.round, stack_->self(), inst.estimate_ts,
+                        inst.estimate);
       }
       check_estimates(inst, inst.round);
       return;  // we are the coordinator: wait for (more) estimates
@@ -234,11 +262,11 @@ void ChandraTouegConsensus::check_estimates(Instance& inst,
     // nudge path, when the coordinator itself has no initial value. Adopt
     // the first nudged value (ts is always 0 in round 1).
     if (!inst.has_initial && !ests.empty() && inst.round == 1) {
-      if (!value_ok(inst.k, ests.front().second)) {
-        inst.pending_propose = {1u, ests.front().second};
+      if (!value_ok(inst.k, ests.front().value)) {
+        inst.pending_propose = {1u, ests.front().value};
         return;
       }
-      do_propose(inst, 1, ests.front().second);
+      do_propose(inst, 1, ests.front().value);
     }
     return;
   }
@@ -263,17 +291,17 @@ void ChandraTouegConsensus::check_estimates(Instance& inst,
   auto best = std::max_element(
       ests.begin(), ests.end(),
       [](const auto& a, const auto& b) {
-        if (a.first != b.first) return a.first < b.first;
-        return a.second.size() < b.second.size();
+        if (a.ts != b.ts) return a.ts < b.ts;
+        return a.value.size() < b.value.size();
       });
   // Locking forces this value; if the layer above cannot act on it yet,
   // defer the proposal until revalidation (the validator starts recovery).
-  if (!value_ok(inst.k, best->second)) {
-    inst.pending_propose = {round, best->second};
+  if (!value_ok(inst.k, best->value)) {
+    inst.pending_propose = {round, best->value};
     return;
   }
   inst.round = std::max(inst.round, round);
-  do_propose(inst, round, best->second);
+  do_propose(inst, round, best->value);
 }
 
 void ChandraTouegConsensus::on_solicit(util::ProcessId from, std::uint64_t k,
@@ -446,10 +474,9 @@ void ChandraTouegConsensus::on_wire(util::ProcessId from,
 void ChandraTouegConsensus::on_estimate(util::ProcessId from, std::uint64_t k,
                                         std::uint32_t round, std::uint32_t ts,
                                         util::Bytes value) {
-  (void)from;
   if (decisions_.count(k) != 0) return;
   Instance& inst = instance(k);
-  inst.estimates[round].emplace_back(ts, std::move(value));
+  record_estimate(inst, round, from, ts, std::move(value));
   check_estimates(inst, round);
 }
 

@@ -28,6 +28,13 @@
 // the reliable broadcast module (kEvRbcast / kEvRdeliver); suspicions come
 // from the failure detector (kEvSuspect). The value is an opaque byte blob —
 // the consensus module never interprets it (black-box modularity).
+//
+// Concurrent instances: all protocol state is keyed by instance number in
+// `instances_` (per-instance rounds, estimates, timers), so a pipelined
+// caller may run any number of instances at once — decisions can complete
+// in any order and nothing bleeds across instances. Estimates are keyed by
+// sender within a round (a refreshed estimate replaces the stale one), and
+// an instance touched after its decision already arrived is born decided.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +69,7 @@ struct ConsensusStats {
   std::uint64_t pulls_sent = 0;
   std::uint64_t nudges_sent = 0;
   std::uint64_t nacks_sent = 0;
+  std::uint64_t max_open_instances = 0;  ///< concurrent undecided instances
 };
 
 class ChandraTouegConsensus final : public framework::Module {
@@ -113,8 +121,16 @@ class ChandraTouegConsensus final : public framework::Module {
     std::set<std::uint32_t> acked_rounds;
     std::set<std::uint32_t> nacked_rounds;
     std::set<std::uint32_t> proposed_rounds;  ///< rounds I proposed (as coord)
-    std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, util::Bytes>>>
-        estimates;  ///< per-round (ts, value) received as coordinator
+    /// One estimate received as coordinator. Entries keep arrival order
+    /// (round-1 nudge adoption is first-come) but are keyed by sender on
+    /// insertion: a refreshed estimate replaces the stale one instead of
+    /// double-counting toward majority.
+    struct EstimateEntry {
+      util::ProcessId sender = 0;
+      std::uint32_t ts = 0;
+      util::Bytes value;
+    };
+    std::map<std::uint32_t, std::vector<EstimateEntry>> estimates;
     std::set<std::uint32_t> own_estimate_added;
     std::set<std::uint32_t> estimate_sent;
     std::set<std::uint32_t> solicited_rounds;
@@ -140,6 +156,9 @@ class ChandraTouegConsensus final : public framework::Module {
   void send_estimate(Instance& inst, std::uint32_t round,
                      util::ProcessId coord);
   void check_estimates(Instance& inst, std::uint32_t round);
+  void record_estimate(Instance& inst, std::uint32_t round,
+                       util::ProcessId sender, std::uint32_t ts,
+                       util::Bytes value);
   void maybe_decide_as_coordinator(Instance& inst, std::uint32_t round);
   void decide_local(std::uint64_t k, util::Bytes value);
   void broadcast_decision(Instance& inst, std::uint32_t round);

@@ -30,6 +30,9 @@ AbcastProcess::AbcastProcess(runtime::Runtime& rt, StackOptions options)
     abcast::AbcastConfig cfg;
     cfg.window = options.window;
     cfg.max_batch = options.max_batch;
+    cfg.batch_bytes = options.batch_bytes;
+    cfg.batch_delay = options.batch_delay;
+    cfg.pipeline_depth = options.pipeline_depth;
     cfg.liveness_timeout = options.liveness_timeout;
     cfg.instance_overhead = options.instance_overhead;
     cfg.indirect_consensus = options.indirect_consensus;
@@ -47,6 +50,9 @@ AbcastProcess::AbcastProcess(runtime::Runtime& rt, StackOptions options)
     monolithic::MonolithicConfig cfg;
     cfg.window = options.window;
     cfg.max_batch = options.max_batch;
+    cfg.batch_bytes = options.batch_bytes;
+    cfg.batch_delay = options.batch_delay;
+    cfg.pipeline_depth = options.pipeline_depth;
     cfg.liveness_timeout = options.liveness_timeout;
     cfg.instance_overhead = options.instance_overhead;
     cfg.forward_flush_delay = options.forward_flush_delay;

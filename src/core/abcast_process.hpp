@@ -51,6 +51,15 @@ struct StackOptions {
   std::size_t window = 2;
   std::size_t max_batch = 64;
 
+  /// Batching triggers beyond the count cap (both stacks; see
+  /// adb::BatchPolicy): payload-byte threshold (0 disables) and δ-time
+  /// aggregation window (0 = propose eagerly, the paper's behavior).
+  std::size_t batch_bytes = 0;
+  util::Duration batch_delay = 0;
+  /// Consensus instances that may be undecided at once (k-deep pipelining,
+  /// both stacks). 1 = strictly sequential (the paper's behavior).
+  std::size_t pipeline_depth = 1;
+
   /// CPU cost of one module-boundary crossing in the composition framework
   /// (event allocation, dispatch, header push/pop). Charged per crossing by
   /// the Stack; only observable under the simulated runtime.

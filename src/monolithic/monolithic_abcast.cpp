@@ -95,7 +95,7 @@ std::uint64_t MonolithicAbcast::abcast(util::Bytes payload) {
   app_queue_.push_back(std::move(payload));
   const std::uint64_t seq = next_seq_ + app_queue_.size() - 1;
   admit_queued();
-  if (i_am_initial_coordinator()) try_start_instance();
+  if (i_am_initial_coordinator()) start_instances();
   recheck_active_estimates();
   return seq;
 }
@@ -177,7 +177,7 @@ void MonolithicAbcast::flush_outbox_standalone() {
   }
   if (target == stack_->self()) {
     for (auto& m : batch) pool_add(std::move(m));
-    try_start_instance();
+    start_instances();
     return;
   }
   framework::TraceScope scope(*stack_, framework::kNoInstance,
@@ -188,41 +188,25 @@ void MonolithicAbcast::flush_outbox_standalone() {
 
 void MonolithicAbcast::pool_add(adb::AppMessage m) {
   if (delivered_.seen(m.id.origin, m.id.seq)) return;
-  if (pool_ids_.count(m.id) != 0) return;
-  pool_ids_.insert(m.id);
-  pool_fifo_.push_back(std::move(m));
-}
-
-std::vector<adb::AppMessage> MonolithicAbcast::take_batch() {
-  std::vector<adb::AppMessage> batch;
-  std::deque<adb::AppMessage> keep;
-  while (!pool_fifo_.empty()) {
-    adb::AppMessage& m = pool_fifo_.front();
-    if (pool_ids_.count(m.id) != 0) {
-      if (batch.size() < config_.max_batch) batch.push_back(m);
-      keep.push_back(std::move(m));
-    }
-    pool_fifo_.pop_front();
-  }
-  pool_fifo_ = std::move(keep);
-  return batch;
+  pool_.add(std::move(m), stack_->rt().now());
 }
 
 util::Bytes MonolithicAbcast::build_estimate_value() {
   // Recovery initial value: own undelivered messages plus whatever we have
-  // pooled — safety (not losing messages) over compactness in bad runs.
+  // pooled (in-flight proposals included — a crashed instance's messages
+  // must not be lost) — safety over compactness in bad runs.
   std::vector<adb::AppMessage> batch;
   std::set<adb::MsgId> added;
   for (const auto& [id, payload] : own_pending_) {
     batch.push_back(adb::AppMessage{id, payload});
     added.insert(id);
   }
-  for (const auto& m : pool_fifo_) {
-    if (pool_ids_.count(m.id) == 0 || added.count(m.id) != 0) continue;
-    if (batch.size() >= config_.max_batch * 2) break;
+  pool_.for_each_live([&](const adb::AppMessage& m) {
+    if (added.count(m.id) != 0) return;
+    if (batch.size() >= config_.max_batch * 2) return;
     batch.push_back(m);
     added.insert(m.id);
-  }
+  });
   return adb::encode_batch(batch);
 }
 
@@ -234,7 +218,9 @@ bool MonolithicAbcast::try_start_instance() {
   if (!i_am_initial_coordinator()) return false;
   next_start_ = std::max(next_start_, next_decide_);
   const std::uint64_t k = next_start_;
-  if (k != next_decide_) return false;  // previous instance still in flight
+  // Pipelining gate: at most pipeline_depth instances undecided at once
+  // (depth 1 = the paper's strictly sequential instances).
+  if (k - next_decide_ >= config_.pipeline_depth) return false;
   if (decisions_.count(k) != 0) return false;
   {
     auto it = instances_.find(k);
@@ -244,7 +230,13 @@ bool MonolithicAbcast::try_start_instance() {
     }
   }
 
-  std::vector<adb::AppMessage> batch = take_batch();
+  if (pool_.eligible() == 0) return false;
+  const util::TimePoint now = stack_->rt().now();
+  if (!pool_.ready(now)) {
+    arm_batch_timer(now);
+    return false;
+  }
+  std::vector<adb::AppMessage> batch = pool_.cut(k);
   if (batch.empty()) return false;
 
   Instance& inst = instance(k);
@@ -256,15 +248,28 @@ bool MonolithicAbcast::try_start_instance() {
   inst.has_estimate = true;
   inst.ack_senders[1];
 
-  // §4.1: piggyback the previous decision's tag on this proposal.
-  const bool has_dec =
-      config_.opt_combine && k > 0 && decisions_.count(k - 1) != 0;
+  // §4.1: piggyback a decision tag on this proposal. Prefer a decision not
+  // yet shipped in any COMBINED; when there is none, re-attach the latest
+  // applied decision's tag — a free refresher for any process that missed
+  // the standalone tag (and the pre-pipelining behavior, byte-for-byte).
+  bool has_dec = false;
+  std::uint64_t dec_k = 0;
+  if (config_.opt_combine) {
+    if (!untagged_decisions_.empty()) {
+      dec_k = untagged_decisions_.front();
+      untagged_decisions_.pop_front();
+      has_dec = true;
+    } else if (k > 0 && decisions_.count(k - 1) != 0) {
+      dec_k = k - 1;
+      has_dec = true;
+    }
+  }
   util::ByteWriter w(value.size() + 32);
   w.u8(kCombined);
   w.u8(has_dec ? kFlagHasDecision : 0);
   if (has_dec) {
-    w.u64(k - 1);
-    w.u32(decision_rounds_[k - 1]);
+    w.u64(dec_k);
+    w.u32(decision_rounds_[dec_k]);
     ++stats_.combined_sent;
   }
   w.u64(k);
@@ -275,6 +280,8 @@ bool MonolithicAbcast::try_start_instance() {
   }
 
   next_start_ = k + 1;
+  stats_.max_inflight_instances = std::max<std::uint64_t>(
+      stats_.max_inflight_instances, next_start_ - next_decide_);
   arm_retransmit(inst, 1);
   if (majority() == 1) {
     // Degenerate tiny group: decide via a zero-delay timer so a decide →
@@ -286,6 +293,25 @@ bool MonolithicAbcast::try_start_instance() {
     });
   }
   return true;
+}
+
+void MonolithicAbcast::start_instances() {
+  // At depth 1 the second iteration no-ops at the pipelining gate, so this
+  // is exactly one legacy try_start_instance; deeper pipelines fill every
+  // free slot the pool can feed.
+  while (try_start_instance()) {
+  }
+}
+
+void MonolithicAbcast::arm_batch_timer(util::TimePoint now) {
+  // δ-time trigger: wake when the oldest eligible message has aged out.
+  if (batch_timer_ != runtime::kInvalidTimer) return;
+  const util::TimePoint due = pool_.deadline();
+  const util::Duration wait = due > now ? due - now : 1;
+  batch_timer_ = stack_->rt().set_timer(wait, [this] {
+    batch_timer_ = runtime::kInvalidTimer;
+    start_instances();
+  });
 }
 
 void MonolithicAbcast::arm_retransmit(Instance& inst, std::uint32_t round) {
@@ -348,14 +374,28 @@ void MonolithicAbcast::coordinator_decided(Instance& inst,
       stack_->send_wire_to_others(framework::kModMonolithic, w.take());
     }
     ++stats_.standalone_tags;
-    try_start_instance();
+    start_instances();
     return;
   }
 
   // §4.1/§4.3: prefer carrying the decision tag on the next proposal; fall
   // back to a standalone (n−1)-message tag when there is nothing to order.
-  const bool started = try_start_instance();
-  if (!started || !config_.opt_combine) {
+  if (config_.opt_combine) {
+    untagged_decisions_.push_back(k);
+    start_instances();
+    while (!untagged_decisions_.empty()) {
+      const std::uint64_t dk = untagged_decisions_.front();
+      untagged_decisions_.pop_front();
+      util::ByteWriter w(16);
+      w.u8(kDecisionTag);
+      w.u64(dk);
+      w.u32(decision_rounds_[dk]);
+      framework::TraceScope scope(*stack_, dk, 0);
+      stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+      ++stats_.standalone_tags;
+    }
+  } else {
+    start_instances();
     util::ByteWriter w(16);
     w.u8(kDecisionTag);
     w.u64(k);
@@ -650,7 +690,7 @@ void MonolithicAbcast::apply_ready_decisions() {
               });
     for (adb::AppMessage& m : batch) {
       if (!delivered_.mark(m.id.origin, m.id.seq)) continue;
-      pool_ids_.erase(m.id);
+      pool_.mark_ordered(m.id);
       if (m.id.origin == stack_->self()) {
         own_pending_.erase(m.id);
         if (in_flight_ > 0) --in_flight_;
@@ -664,6 +704,10 @@ void MonolithicAbcast::apply_ready_decisions() {
       if (deliver_) deliver_(m.id.origin, m.id.seq, m.payload);
     }
     ++stats_.instances_completed;
+    // Clear the in-flight marks only now that the decision is APPLIED: a
+    // decision buffered out of instance order must keep its messages marked,
+    // or they would be re-proposed and the exact §5.2 accounting breaks.
+    pool_.on_decided(next_decide_);
     ++next_decide_;
     next_start_ = std::max(next_start_, next_decide_);
     stack_->rt().charge_cpu(config_.instance_overhead);
@@ -781,14 +825,14 @@ void MonolithicAbcast::on_wire(util::ProcessId from, util::Payload msg) {
           maybe_decide_as_coordinator(inst, round);
         }
       }
-      try_start_instance();
+      start_instances();
       recheck_active_estimates();
       break;
     }
     case kForward: {
       util::Bytes batch(r.rest().begin(), r.rest().end());
       for (auto& m : adb::decode_batch(batch)) pool_add(std::move(m));
-      try_start_instance();
+      start_instances();
       // If we coordinate a held recovery round, the fresh pool content may
       // unblock it.
       recheck_active_estimates();
@@ -928,7 +972,7 @@ void MonolithicAbcast::on_suspect(util::ProcessId q) {
 
 void MonolithicAbcast::ensure_instance_progress() {
   if (i_am_initial_coordinator()) {
-    try_start_instance();
+    start_instances();
     return;
   }
   if (decisions_.count(next_decide_) != 0) return;
@@ -990,7 +1034,7 @@ void MonolithicAbcast::arm_liveness_timer() {
 std::string MonolithicAbcast::debug_state() const {
   std::string out = "next_decide=" + std::to_string(next_decide_) +
                     " next_start=" + std::to_string(next_start_) +
-                    " pool=" + std::to_string(pool_ids_.size()) +
+                    " pool=" + std::to_string(pool_.live()) +
                     " own_pending=" + std::to_string(own_pending_.size()) +
                     " outbox=" + std::to_string(outbox_.size()) + "\n";
   for (const auto& [k, inst] : instances_) {

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "adb/batcher.hpp"
 #include "adb/types.hpp"
 #include "fd/heartbeat_fd.hpp"
 #include "framework/stack.hpp"
@@ -49,6 +50,14 @@ struct MonolithicConfig {
   std::size_t window = 2;
   /// Maximum messages per proposal (the paper's M).
   std::size_t max_batch = 4;
+  /// Payload-byte cap/trigger for a proposal batch; 0 disables.
+  std::size_t batch_bytes = 0;
+  /// δ-time aggregation window before a non-full batch is proposed.
+  /// 0 = propose eagerly (the paper's behavior).
+  util::Duration batch_delay = 0;
+  /// Consensus instances that may be undecided at once (k-deep
+  /// pipelining). 1 = strictly sequential instances (the paper's behavior).
+  std::size_t pipeline_depth = 1;
   /// Aggregation delay before an idle process sends a standalone FORWARD to
   /// the coordinator (lets a burst of abcasts share one message).
   util::Duration forward_flush_delay = util::microseconds(200);
@@ -85,6 +94,7 @@ struct MonolithicStats {
   std::uint32_t max_round = 0;
   std::uint64_t late_decisions = 0;  ///< instances decided in a round >= 2
   std::uint64_t pulls_sent = 0;
+  std::uint64_t max_inflight_instances = 0;  ///< pipelining high-water mark
 };
 
 class MonolithicAbcast final : public framework::Module {
@@ -95,7 +105,12 @@ class MonolithicAbcast final : public framework::Module {
 
   explicit MonolithicAbcast(MonolithicConfig config = {},
                             const fd::HeartbeatFd* fd = nullptr)
-      : config_(config), fd_(fd) {}
+      : config_(config),
+        fd_(fd),
+        pool_(adb::BatchPolicy{config.max_batch, config.batch_bytes,
+                               config.batch_delay}) {
+    if (config_.pipeline_depth == 0) config_.pipeline_depth = 1;
+  }
 
   std::string_view name() const override { return "monolithic-abcast"; }
   void init(framework::Stack& stack) override;
@@ -112,7 +127,7 @@ class MonolithicAbcast final : public framework::Module {
   std::size_t queued() const { return app_queue_.size(); }
   std::size_t in_flight() const { return in_flight_; }
   std::uint64_t next_decide() const { return next_decide_; }
-  std::size_t pool_size() const { return pool_ids_.size(); }
+  std::size_t pool_size() const { return pool_.live(); }
 
   /// Human-readable snapshot of live instance state (diagnostics/tests).
   std::string debug_state() const;
@@ -157,11 +172,12 @@ class MonolithicAbcast final : public framework::Module {
   void flush_outbox_standalone();
   void arm_flush_timer();
   void pool_add(adb::AppMessage m);
-  std::vector<adb::AppMessage> take_batch();
   util::Bytes build_estimate_value();
 
   // --- coordinator good path ---
   bool try_start_instance();
+  void start_instances();
+  void arm_batch_timer(util::TimePoint now);
   void coordinator_decided(Instance& inst, std::uint32_t round);
   void arm_retransmit(Instance& inst, std::uint32_t round);
 
@@ -218,8 +234,8 @@ class MonolithicAbcast final : public framework::Module {
 
   // Ordering pool (coordinator: messages to order; with opt_piggyback off,
   // every process pools every diffused message, like the modular stack).
-  std::deque<adb::AppMessage> pool_fifo_;
-  std::set<adb::MsgId> pool_ids_;
+  adb::Batcher pool_;
+  runtime::TimerId batch_timer_ = runtime::kInvalidTimer;  ///< δ-time trigger
   util::SeqTracker seen_;
   util::SeqTracker delivered_;
 
@@ -229,6 +245,10 @@ class MonolithicAbcast final : public framework::Module {
   std::map<std::uint64_t, std::uint32_t> decision_rounds_;
   std::uint64_t next_decide_ = 0;
   std::uint64_t next_start_ = 0;  ///< coordinator: next instance to propose
+  /// §4.1 combine, pipelined: decisions reached but not yet shipped in a
+  /// COMBINED proposal. Each new proposal pops the front as its ride-along
+  /// tag; leftovers are flushed as standalone tags.
+  std::deque<std::uint64_t> untagged_decisions_;
   std::map<std::uint64_t, util::Bytes> ready_decisions_;
   util::SeqTracker relayed_decisions_;  ///< dedup for fallback relaying
 

@@ -1,6 +1,7 @@
 #include "util/flags.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace modcast::util {
@@ -47,6 +48,42 @@ double parse_double_strict(const std::string& name, const std::string& value) {
                                 value + "' (trailing characters)");
   }
   return out;
+}
+
+Duration parse_duration_strict(const std::string& name,
+                               const std::string& value) {
+  // Split off a unit suffix; what precedes it must be a full number.
+  std::size_t unit_pos = value.size();
+  while (unit_pos > 0 && std::isalpha(static_cast<unsigned char>(
+                             value[unit_pos - 1]))) {
+    --unit_pos;
+  }
+  const std::string number = value.substr(0, unit_pos);
+  const std::string unit = value.substr(unit_pos);
+  double scale = 1e9;  // bare number = seconds
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (!unit.empty() && unit != "s") {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a duration (ns/us/ms/s), got '" +
+                                value + "'");
+  }
+  if (number.empty()) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a duration (ns/us/ms/s), got '" +
+                                value + "'");
+  }
+  const double amount = parse_double_strict(name, number);
+  if (amount < 0.0) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a non-negative duration, got '" +
+                                value + "'");
+  }
+  return static_cast<Duration>(amount * scale);
 }
 
 }  // namespace
@@ -105,6 +142,12 @@ double Flags::get_double(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   return parse_double_strict(name, it->second);
+}
+
+Duration Flags::get_duration(const std::string& name, Duration def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return parse_duration_strict(name, it->second);
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {

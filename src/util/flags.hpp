@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/time.hpp"
+
 namespace modcast::util {
 
 class Flags {
@@ -25,6 +27,12 @@ class Flags {
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
+
+  /// Non-negative duration with an optional unit suffix: "500us", "2ms",
+  /// "1.5s", "250ns"; a bare number means seconds. Strict like the numeric
+  /// accessors: trailing garbage, unknown units, and negative values are
+  /// rejected with the flag named in the error.
+  Duration get_duration(const std::string& name, Duration def) const;
 
   /// Comma-separated list of integers, e.g. --sizes=64,128,256.
   std::vector<std::int64_t> get_int_list(

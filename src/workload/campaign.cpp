@@ -25,6 +25,15 @@ core::StackOptions CampaignConfig::campaign_stack_defaults() {
   return s;
 }
 
+core::StackOptions CampaignConfig::campaign_batched_stack_defaults() {
+  core::StackOptions s = campaign_stack_defaults();
+  s.window = 8;
+  s.max_batch = 16;
+  s.batch_delay = util::microseconds(500);
+  s.pipeline_depth = 4;
+  return s;
+}
+
 std::vector<faults::FaultSchedule> standard_fault_schedules(std::size_t n) {
   using namespace faults;
   const auto ms = [](std::int64_t v) { return util::milliseconds(v); };

@@ -49,6 +49,14 @@ struct CampaignConfig {
   core::StackOptions stack = campaign_stack_defaults();
 
   static core::StackOptions campaign_stack_defaults();
+
+  /// The campaign's second battery template: batching (count 16, δ = 500 µs)
+  /// plus 4-deep pipelining on top of campaign_stack_defaults(), window 8.
+  /// Under load every crash, partition, and churn window from the standard
+  /// schedules then lands mid-batch and mid-pipeline — the checker verifies
+  /// that recovery re-proposes pending batch contents and that buffered
+  /// out-of-order decisions never release early.
+  static core::StackOptions campaign_batched_stack_defaults();
 };
 
 /// One (schedule × stack) execution's verdict and metrics.

@@ -40,6 +40,9 @@ ValidationResult run_model_validation(const ValidationConfig& cfg) {
   gc.stack.kind = cfg.kind;
   gc.stack.window = cfg.window;
   gc.stack.max_batch = cfg.max_batch;
+  gc.stack.batch_bytes = cfg.batch_bytes;
+  gc.stack.batch_delay = cfg.batch_delay;
+  gc.stack.pipeline_depth = cfg.pipeline_depth;
   gc.stack.forward_flush_delay = cfg.forward_flush_delay;
   core::SimGroup group(gc);
   auto& world = group.world();

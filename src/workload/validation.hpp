@@ -27,6 +27,13 @@ struct ValidationConfig {
   std::size_t message_size = 1024;         ///< l
   std::size_t max_batch = 4;
   std::size_t window = 4;
+  /// Batching/pipelining knobs (see core::StackOptions). Defaults reproduce
+  /// the paper's configuration; the batched validation cases raise them and
+  /// still expect EXACT model agreement — the §5.2 per-instance identities
+  /// are invariant, only how T distributes over I changes.
+  std::size_t batch_bytes = 0;
+  util::Duration batch_delay = 0;
+  std::size_t pipeline_depth = 1;
   std::uint64_t seed = 1;
   /// Monolithic: raised well above the one-way latency so a burst never
   /// flushes standalone forwards before the combined proposal arrives (a

@@ -90,6 +90,48 @@ TEST(Flags, NumbersStillParseWithSignsAndExponents) {
   EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 0.025);
 }
 
+TEST(Flags, DurationUnitsAndBareSeconds) {
+  auto f = parse({"--batch-delay=500us", "--t1=2ms", "--t2=1.5s",
+                  "--t3=250ns", "--t4=3"});
+  EXPECT_EQ(f.get_duration("batch-delay", 0), microseconds(500));
+  EXPECT_EQ(f.get_duration("t1", 0), milliseconds(2));
+  EXPECT_EQ(f.get_duration("t2", 0), milliseconds(1500));
+  EXPECT_EQ(f.get_duration("t3", 0), Duration{250});
+  EXPECT_EQ(f.get_duration("t4", 0), seconds(3));
+  EXPECT_EQ(f.get_duration("absent", milliseconds(7)), milliseconds(7));
+}
+
+TEST(Flags, DurationRejectsNegative) {
+  auto f = parse({"--batch-delay=-2ms"});
+  try {
+    f.get_duration("batch-delay", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("batch-delay"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Flags, DurationRejectsNonNumericAndBadUnits) {
+  EXPECT_THROW(parse({"--batch-delay=fast"}).get_duration("batch-delay", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--batch-delay=2 ms"}).get_duration("batch-delay", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--batch-delay=2min"}).get_duration("batch-delay", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--batch-delay=ms"}).get_duration("batch-delay", 0),
+               std::invalid_argument);
+  try {
+    parse({"--batch-delay=2min"}).get_duration("batch-delay", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("batch-delay"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Flags, Positional) {
   auto f = parse({"one", "--n=3", "two"});
   EXPECT_EQ(f.positional(), (std::vector<std::string>{"one", "two"}));

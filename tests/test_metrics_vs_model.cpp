@@ -60,6 +60,88 @@ TEST_P(MetricsVsModel, ModularCostsMoreBytesThanMonolithic) {
   EXPECT_NEAR(measured_overhead, analysis::modularity_data_overhead(n), 1e-9);
 }
 
+// Batching and pipelining must not disturb the exact §5.2 accounting: the
+// per-instance identities are invariant, only how T distributes over the I
+// instances changes. Every batched/pipelined drained run still matches the
+// model EXACTLY, and the run-level closed forms agree with the measurement.
+
+TEST_P(MetricsVsModel, ModularBatchedMatchesModelExactly) {
+  auto cfg = config_for(GetParam(), core::StackKind::kModular);
+  cfg.messages_per_process = 16;
+  cfg.window = 8;
+  cfg.max_batch = 16;
+  cfg.batch_delay = util::milliseconds(2);
+  const auto r = run_model_validation(cfg);
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_EQ(r.check.measured_messages,
+            analysis::modular_messages_per_run(GetParam(), r.total_messages,
+                                               r.instances));
+  EXPECT_NEAR(static_cast<double>(r.check.measured_app_bytes),
+              analysis::modular_data_per_run(GetParam(), r.total_messages,
+                                             1024.0),
+              0.5);
+  // The δ-window actually aggregated: fewer instances than messages.
+  EXPECT_LT(r.instances, r.total_messages);
+}
+
+TEST_P(MetricsVsModel, MonolithicBatchedBytesTriggerMatchesModelExactly) {
+  auto cfg = config_for(GetParam(), core::StackKind::kMonolithic);
+  cfg.messages_per_process = 16;
+  cfg.window = 8;
+  cfg.max_batch = 64;             // count cap out of the way:
+  cfg.batch_bytes = 4 * 1024;     // the byte threshold closes batches
+  cfg.batch_delay = util::milliseconds(2);
+  const auto r = run_model_validation(cfg);
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_EQ(r.check.measured_messages,
+            analysis::monolithic_messages_per_run(GetParam(), r.instances,
+                                                  r.standalone_tags));
+  EXPECT_NEAR(static_cast<double>(r.check.measured_app_bytes),
+              analysis::monolithic_data_per_run(GetParam(), r.total_messages,
+                                                1024.0),
+              0.5);
+  EXPECT_LT(r.instances, r.total_messages);
+}
+
+TEST_P(MetricsVsModel, ModularPipelinedMatchesModelExactly) {
+  auto cfg = config_for(GetParam(), core::StackKind::kModular);
+  cfg.messages_per_process = 16;
+  cfg.window = 16;
+  cfg.pipeline_depth = 4;
+  const auto r = run_model_validation(cfg);
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_EQ(r.check.measured_messages,
+            analysis::modular_messages_per_run(GetParam(), r.total_messages,
+                                               r.instances));
+}
+
+TEST_P(MetricsVsModel, MonolithicPipelinedDrainsWithPredictedTags) {
+  auto cfg = config_for(GetParam(), core::StackKind::kMonolithic);
+  cfg.messages_per_process = 16;
+  cfg.window = 16;
+  cfg.pipeline_depth = 4;
+  const auto r = run_model_validation(cfg);
+  EXPECT_TRUE(r.ok()) << r.describe();
+  // A drained saturated run closes with min(depth, I) standalone tags: the
+  // final in-flight decisions find no next proposal to ride.
+  EXPECT_EQ(r.standalone_tags,
+            analysis::monolithic_drain_tags(r.instances, 4));
+}
+
+TEST_P(MetricsVsModel, BatchedPipelinedBothStacksMatchModelExactly) {
+  for (const auto kind :
+       {core::StackKind::kModular, core::StackKind::kMonolithic}) {
+    auto cfg = config_for(GetParam(), kind);
+    cfg.messages_per_process = 24;
+    cfg.window = 12;
+    cfg.max_batch = 8;
+    cfg.batch_delay = util::milliseconds(1);
+    cfg.pipeline_depth = 2;
+    const auto r = run_model_validation(cfg);
+    EXPECT_TRUE(r.ok()) << core::to_string(kind) << ": " << r.describe();
+  }
+}
+
 TEST_P(MetricsVsModel, SameSeedSameMetrics) {
   const auto cfg = config_for(GetParam(), core::StackKind::kModular);
   const auto a = run_model_validation(cfg);

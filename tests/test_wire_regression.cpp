@@ -247,6 +247,90 @@ TEST(WireFormat, MonolithicCombinedFrame) {
   EXPECT_EQ(rt.sent[0].second, expected);
 }
 
+// A multi-message adb::Batch rides a consensus proposal through the modular
+// stack: the participant decodes the golden frame and acks, proving the
+// batch payload is opaque to consensus and the frame layout is unchanged by
+// batching (only the value blob grew).
+TEST(WireFormat, ConsensusProposalWithMultiMessageBatchDecodesAndAcks) {
+  // Batch of two app messages: (origin 0, seq 0, 1 B) and (origin 2, seq 3,
+  // 2 B) — 4-byte count then each message in adb::encode_message layout.
+  const Bytes batch = {
+      0x02, 0x00, 0x00, 0x00,                          // batch count = 2
+      0x00, 0x00, 0x00, 0x00,                          // m1 origin = 0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // m1 seq = 0
+      0x01, 0x00, 0x00, 0x00,                          // m1 blob length = 1
+      0x42,                                            // m1 payload
+      0x02, 0x00, 0x00, 0x00,                          // m2 origin = 2
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // m2 seq = 3
+      0x02, 0x00, 0x00, 0x00,                          // m2 blob length = 2
+      0xAB, 0xCD,                                      // m2 payload
+  };
+  ASSERT_EQ(batch.size(), 39u);
+
+  RecordingRuntime rt(1, 3);  // participant: coordinator of round 1 is 0
+  framework::Stack stack(rt);
+  consensus::ChandraTouegConsensus cons;
+  stack.add(cons);
+  stack.start();
+  Bytes proposal = {
+      0x02,                                            // kModConsensus
+      0x02,                                            // kProposal
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // instance k = 2
+      0x01, 0x00, 0x00, 0x00,                          // round = 1
+      0x27, 0x00, 0x00, 0x00,                          // blob length = 39
+  };
+  proposal.insert(proposal.end(), batch.begin(), batch.end());
+  stack.on_message(0, Payload(proposal));
+
+  ASSERT_EQ(rt.sent.size(), 1u);
+  EXPECT_EQ(rt.sent[0].first, 0u);
+  const Bytes expected_ack = {
+      0x02,                                            // kModConsensus
+      0x03,                                            // kAck
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // instance k = 2
+      0x01, 0x00, 0x00, 0x00,                          // round = 1
+  };
+  EXPECT_EQ(rt.sent[0].second, expected_ack);
+}
+
+// The same two-message batch inside a monolithic kCombined proposal: the
+// participant decodes it and acks the coordinator (empty piggyback batch).
+TEST(WireFormat, MonolithicCombinedWithMultiMessageBatchDecodesAndAcks) {
+  RecordingRuntime rt(1, 3);  // participant: coordinator of round 1 is 0
+  framework::Stack stack(rt);
+  monolithic::MonolithicAbcast mono;
+  stack.add(mono);
+  stack.start();
+  const Bytes combined = {
+      0x05,                                            // kModMonolithic
+      0x01,                                            // kCombined
+      0x00,                                            // flags: no decision
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // instance k = 0
+      // proposal value: an adb batch of two messages (raw, no blob prefix)
+      0x02, 0x00, 0x00, 0x00,                          // batch count = 2
+      0x00, 0x00, 0x00, 0x00,                          // m1 origin = 0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // m1 seq = 0
+      0x01, 0x00, 0x00, 0x00,                          // m1 blob length = 1
+      0x42,                                            // m1 payload
+      0x02, 0x00, 0x00, 0x00,                          // m2 origin = 2
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // m2 seq = 3
+      0x02, 0x00, 0x00, 0x00,                          // m2 blob length = 2
+      0xAB, 0xCD,                                      // m2 payload
+  };
+  stack.on_message(0, Payload(combined));
+
+  ASSERT_EQ(rt.sent.size(), 1u);
+  EXPECT_EQ(rt.sent[0].first, 0u);
+  const Bytes expected_ack = {
+      0x05,                                            // kModMonolithic
+      0x02,                                            // kAck
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // instance k = 0
+      0x01, 0x00, 0x00, 0x00,                          // round = 1
+      0x00, 0x00, 0x00, 0x00,                          // piggyback count = 0
+  };
+  EXPECT_EQ(rt.sent[0].second, expected_ack);
+}
+
 TEST(WireFormat, RbcastFrameDecodesThroughStackDemux) {
   RecordingRuntime rt(1, 3);
   framework::Stack stack(rt);
