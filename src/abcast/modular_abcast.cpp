@@ -147,7 +147,12 @@ void ModularAbcast::maybe_propose() {
     // Pipelining gate: at most pipeline_depth instances undecided at once
     // (depth 1 = the paper's strictly sequential instances).
     if (next_instance_ - next_decide_ >= config_.pipeline_depth) return;
-    if (batcher_.eligible() == 0) return;
+    if (batcher_.eligible() == 0) {
+      // Everything eligible was cut (e.g. a size-triggered proposal beat
+      // the δ-timer): a still-armed batch timer would only fire to no-op.
+      cancel_batch_timer();
+      return;
+    }
     const util::TimePoint now = stack_->rt().now();
     if (!batcher_.ready(now)) {
       arm_batch_timer(now);
@@ -178,6 +183,12 @@ void ModularAbcast::arm_batch_timer(util::TimePoint now) {
     batch_timer_ = runtime::kInvalidTimer;
     maybe_propose();
   });
+}
+
+void ModularAbcast::cancel_batch_timer() {
+  if (batch_timer_ == runtime::kInvalidTimer) return;
+  stack_->rt().cancel_timer(batch_timer_);
+  batch_timer_ = runtime::kInvalidTimer;
 }
 
 util::Bytes ModularAbcast::encode_value(
@@ -310,6 +321,10 @@ void ModularAbcast::on_new_payloads() {
     }
   }
   apply_ready_decisions();
+  // Quiesced (mirrors the retry timer's own re-arm condition): a pending
+  // pull-retry tick would only fire to no-op, so disarm it.
+  if (waiting_validation_.empty() && ready_decisions_.empty())
+    cancel_payload_timer();
 }
 
 void ModularAbcast::arm_payload_timer() {
@@ -331,7 +346,14 @@ void ModularAbcast::arm_payload_timer() {
       });
 }
 
+void ModularAbcast::cancel_payload_timer() {
+  if (payload_timer_ == runtime::kInvalidTimer) return;
+  stack_->rt().cancel_timer(payload_timer_);
+  payload_timer_ = runtime::kInvalidTimer;
+}
+
 void ModularAbcast::arm_liveness_timer() {
+  // lifecheck:allow(timer.lost): periodic liveness tick re-arms itself for the whole process lifetime, never cancelled by design
   stack_->rt().set_timer(config_.liveness_timeout, [this] {
     const util::TimePoint now = stack_->rt().now();
     if (now - last_activity_ >= config_.liveness_timeout &&

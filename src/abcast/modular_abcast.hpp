@@ -150,6 +150,7 @@ class ModularAbcast final : public framework::Module {
   void add_pending(AppMessage m);
   void maybe_propose();
   void arm_batch_timer(util::TimePoint now);
+  void cancel_batch_timer();
   void apply_ready_decisions();
   void diffuse(const AppMessage& m);
   void arm_liveness_timer();
@@ -162,6 +163,7 @@ class ModularAbcast final : public framework::Module {
   void request_payloads(const std::vector<MsgId>& missing);
   void on_new_payloads();
   void arm_payload_timer();
+  void cancel_payload_timer();
   void retain_delivered(const MsgId& id);
 
   AbcastConfig config_;

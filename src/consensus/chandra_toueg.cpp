@@ -115,6 +115,7 @@ void ChandraTouegConsensus::propose(std::uint64_t k, util::Bytes value) {
   // Single-process group: trivially decide. Deferred through a zero-delay
   // timer so a decide → propose(k+1) → decide chain cannot recurse.
   if (stack_->group_size() == 1) {
+    // lifecheck:allow(timer.lost): zero-delay trampoline fires before any cancel path could need its id
     stack_->rt().set_timer(0, [this, k] {
       auto it = instances_.find(k);
       if (it == instances_.end() || it->second.decided) return;

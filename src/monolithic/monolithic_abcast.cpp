@@ -286,6 +286,7 @@ bool MonolithicAbcast::try_start_instance() {
   if (majority() == 1) {
     // Degenerate tiny group: decide via a zero-delay timer so a decide →
     // start(k+1) → decide chain cannot recurse unboundedly.
+    // lifecheck:allow(timer.lost): zero-delay trampoline fires before any cancel path could need its id
     stack_->rt().set_timer(0, [this, k] {
       auto it = instances_.find(k);
       if (it == instances_.end() || it->second.decided) return;
@@ -301,6 +302,11 @@ void MonolithicAbcast::start_instances() {
   // free slot the pool can feed.
   while (try_start_instance()) {
   }
+  if (pool_.eligible() == 0) {
+    // Everything eligible was cut (e.g. a size-triggered proposal beat
+    // the δ-timer): a still-armed batch timer would only fire to no-op.
+    cancel_batch_timer();
+  }
 }
 
 void MonolithicAbcast::arm_batch_timer(util::TimePoint now) {
@@ -312,6 +318,12 @@ void MonolithicAbcast::arm_batch_timer(util::TimePoint now) {
     batch_timer_ = runtime::kInvalidTimer;
     start_instances();
   });
+}
+
+void MonolithicAbcast::cancel_batch_timer() {
+  if (batch_timer_ == runtime::kInvalidTimer) return;
+  stack_->rt().cancel_timer(batch_timer_);
+  batch_timer_ = runtime::kInvalidTimer;
 }
 
 void MonolithicAbcast::arm_retransmit(Instance& inst, std::uint32_t round) {
@@ -1001,6 +1013,7 @@ void MonolithicAbcast::ensure_instance_progress() {
 }
 
 void MonolithicAbcast::arm_liveness_timer() {
+  // lifecheck:allow(timer.lost): periodic liveness tick re-arms itself for the whole process lifetime, never cancelled by design
   stack_->rt().set_timer(config_.liveness_timeout, [this] {
     const util::TimePoint now = stack_->rt().now();
     if (now - last_activity_ >= config_.liveness_timeout) {

@@ -178,6 +178,7 @@ class MonolithicAbcast final : public framework::Module {
   bool try_start_instance();
   void start_instances();
   void arm_batch_timer(util::TimePoint now);
+  void cancel_batch_timer();
   void coordinator_decided(Instance& inst, std::uint32_t round);
   void arm_retransmit(Instance& inst, std::uint32_t round);
 

@@ -45,6 +45,7 @@ class SimWorld::ProcRuntime final : public Runtime {
   util::Rng& rng() override { return rng_; }
 
   std::uint64_t timer_arms() const { return timer_arms_; }
+  std::size_t pending_timers() const { return timers_.size(); }
 
   void charge_cpu(util::Duration cost) override {
     world_->cpu(self_).charge(cost);
@@ -82,6 +83,10 @@ Runtime& SimWorld::runtime(util::ProcessId p) { return *runtimes_.at(p); }
 
 std::uint64_t SimWorld::timer_arms(util::ProcessId p) const {
   return runtimes_.at(p)->timer_arms();
+}
+
+std::size_t SimWorld::pending_timers(util::ProcessId p) const {
+  return runtimes_.at(p)->pending_timers();
 }
 
 void SimWorld::attach(util::ProcessId p, Protocol* protocol) {

@@ -62,6 +62,9 @@ class SimWorld {
   Runtime& runtime(util::ProcessId p);
   /// Total timers armed by process p's runtime so far (metrics).
   std::uint64_t timer_arms(util::ProcessId p) const;
+  /// Timers currently armed and not yet fired or cancelled on process p.
+  /// Lets tests assert protocols disarm their one-shot timers at quiescence.
+  std::size_t pending_timers(util::ProcessId p) const;
   const SimWorldConfig& config() const { return config_; }
 
   /// Attaches the protocol stack of process p (non-owning). Must be called

@@ -1,0 +1,21 @@
+#include "bad.hpp"
+
+namespace mini {
+
+// lifecheck:allow(timer.bogus): no such rule exists
+static const int kA = 1;
+
+// lifecheck:allow(timer.leak):
+static const int kB = 2;
+
+// lifecheck:allow(timer.stale): nothing on the next line ever fires this
+static const int kC = 3;
+
+void Bad::arm() {
+  beat_timer_ = rt_->set_timer(100, [this] {
+    beat_timer_ = runtime::kInvalidTimer;
+    arm();
+  });
+}
+
+}  // namespace mini

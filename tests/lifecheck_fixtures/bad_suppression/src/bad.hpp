@@ -1,0 +1,13 @@
+#pragma once
+
+namespace mini {
+
+class Bad {
+ public:
+  void arm();
+
+ private:
+  runtime::TimerId beat_timer_ = runtime::kInvalidTimer;
+};
+
+}  // namespace mini

@@ -1,0 +1,13 @@
+// Mini EventType/ModuleId registry for the lifecheck fixtures.
+#pragma once
+#include <cstdint>
+
+namespace mini {
+
+using EventType = std::uint16_t;
+using ModuleId = std::uint8_t;
+
+constexpr EventType kEvPing = 10;
+constexpr ModuleId kModProto = 1;
+
+}  // namespace mini

@@ -1,0 +1,41 @@
+#include "proto.hpp"
+
+namespace mini {
+
+void Proto::init() {
+  stack_->bind(kEvPing, [this](const Event& e) { on_ping(e); });
+  stack_->bind_wire(kModProto, [this](ProcessId from, Payload msg) {
+    on_wire(from, msg);
+  });
+}
+
+void Proto::arm() {
+  tick_timer_ = rt_->set_timer(10, [this] {
+    tick_timer_ = runtime::kInvalidTimer;
+    step(State::kIdle);
+  });
+}
+
+void Proto::step(State s) {
+  switch (s) {
+    case State::kIdle:
+      arm();
+      break;
+    case State::kBusy:
+      stack_->raise(Event::local(kEvPing, PingBody{}));
+      break;
+    case State::kDone:
+      stack_->send_wire(0, kModProto, make_payload());
+      break;
+  }
+  open_.erase(0);
+}
+
+void Proto::stop() {
+  if (tick_timer_ != runtime::kInvalidTimer) {
+    rt_->cancel_timer(tick_timer_);
+    tick_timer_ = runtime::kInvalidTimer;
+  }
+}
+
+}  // namespace mini

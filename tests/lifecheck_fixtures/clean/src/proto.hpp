@@ -1,0 +1,25 @@
+// A well-behaved protocol module: the timer is cancelled on stop, the
+// per-instance map has a release site, and the state switch is exhaustive.
+#pragma once
+#include <cstdint>
+#include <map>
+
+#include "events.hpp"
+
+namespace mini {
+
+enum class State { kIdle, kBusy, kDone };
+
+class Proto {
+ public:
+  void init();
+  void step(State s);
+  void stop();
+
+ private:
+  void arm();
+  runtime::TimerId tick_timer_ = runtime::kInvalidTimer;
+  std::map<std::uint64_t, int> open_;
+};
+
+}  // namespace mini

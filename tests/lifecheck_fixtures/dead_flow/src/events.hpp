@@ -1,0 +1,14 @@
+// Registry for the dead-flow fixture.
+#pragma once
+#include <cstdint>
+
+namespace mini {
+
+using EventType = std::uint16_t;
+using ModuleId = std::uint8_t;
+
+constexpr EventType kEvOrphan = 1;
+constexpr EventType kEvPing = 2;
+constexpr ModuleId kModProto = 3;
+
+}  // namespace mini

@@ -1,0 +1,23 @@
+#include "events.hpp"
+
+namespace mini {
+
+constexpr std::uint8_t kHello = 1;
+
+void Proto::init() {
+  // Orphaned handler: no send/raise path in the tree reaches kEvOrphan.
+  stack_->bind(kEvOrphan, [this](const Event& e) { on_orphan(e); });
+  stack_->bind(kEvPing, [this](const Event& e) { on_ping(e); });
+  stack_->bind_wire(kModProto, [this](ProcessId from, Payload msg) {
+    on_wire(from, msg);
+  });
+}
+
+void Proto::poke() {
+  stack_->raise(Event::local(kEvPing, PingBody{}));
+  ByteWriter w;
+  w.u8(kHello);
+  stack_->send_wire(0, kModProto, w.take());
+}
+
+}  // namespace mini

@@ -1,0 +1,13 @@
+#include "table.hpp"
+
+namespace mini {
+
+void Table::open(std::uint64_t k) { open_[k] = Entry{}; }
+
+// open_ is never erased: every decided instance's record stays forever.
+void Table::finish(std::uint64_t k) {
+  done_.insert(k);
+  if (done_.size() > 64) done_.clear();
+}
+
+}  // namespace mini

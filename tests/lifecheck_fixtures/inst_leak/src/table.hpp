@@ -1,0 +1,22 @@
+#pragma once
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace mini {
+
+struct Entry {
+  int round = 0;
+};
+
+class Table {
+ public:
+  void open(std::uint64_t k);
+  void finish(std::uint64_t k);
+
+ private:
+  std::map<std::uint64_t, Entry> open_;
+  std::set<std::uint64_t> done_;
+};
+
+}  // namespace mini

@@ -1,0 +1,17 @@
+#include "machine.hpp"
+
+namespace mini {
+
+// kStop is silently dropped: no case, no default.
+void Machine::step(Phase p) {
+  switch (p) {
+    case Phase::kStart:
+      begin();
+      break;
+    case Phase::kRun:
+      run();
+      break;
+  }
+}
+
+}  // namespace mini

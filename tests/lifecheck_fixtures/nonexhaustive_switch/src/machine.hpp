@@ -1,0 +1,12 @@
+#pragma once
+
+namespace mini {
+
+enum class Phase { kStart, kRun, kStop };
+
+class Machine {
+ public:
+  void step(Phase p);
+};
+
+}  // namespace mini

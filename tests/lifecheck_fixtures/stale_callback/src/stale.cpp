@@ -1,0 +1,14 @@
+#include "stale.hpp"
+
+namespace mini {
+
+// The callback neither clears poll_timer_ nor re-validates it: after the
+// timer fires, the field keeps pointing at a dead timer and stop() cancels
+// garbage.
+void Poller::arm() {
+  poll_timer_ = rt_->set_timer(25, [this] { on_poll(); });
+}
+
+void Poller::stop() { rt_->cancel_timer(poll_timer_); }
+
+}  // namespace mini

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace mini {
+
+class Poller {
+ public:
+  void arm();
+  void stop();
+
+ private:
+  runtime::TimerId poll_timer_ = runtime::kInvalidTimer;
+};
+
+}  // namespace mini

@@ -1,0 +1,21 @@
+#include "quiet.hpp"
+
+namespace mini {
+
+void Quiet::arm() {
+  beat_timer_ = rt_->set_timer(100, [this] {
+    beat_timer_ = runtime::kInvalidTimer;
+    arm();
+  });
+}
+
+void Quiet::react(Mode m) {
+  // lifecheck:allow(state.switch): kOff intentionally falls through to the caller
+  switch (m) {
+    case Mode::kOn:
+      arm();
+      break;
+  }
+}
+
+}  // namespace mini

@@ -1,0 +1,17 @@
+#pragma once
+
+namespace mini {
+
+enum class Mode { kOn, kOff };
+
+class Quiet {
+ public:
+  void arm();
+  void react(Mode m);
+
+ private:
+  // lifecheck:allow(timer.leak): the harness disarms this timer at teardown
+  runtime::TimerId beat_timer_ = runtime::kInvalidTimer;
+};
+
+}  // namespace mini

@@ -1,0 +1,12 @@
+#include "leaky.hpp"
+
+namespace mini {
+
+void Leaky::arm() {
+  beat_timer_ = rt_->set_timer(100, [this] {
+    beat_timer_ = runtime::kInvalidTimer;
+    arm();
+  });
+}
+
+}  // namespace mini

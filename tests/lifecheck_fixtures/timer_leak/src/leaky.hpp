@@ -1,0 +1,14 @@
+// The heartbeat timer is armed but this translation unit never cancels it.
+#pragma once
+
+namespace mini {
+
+class Leaky {
+ public:
+  void arm();
+
+ private:
+  runtime::TimerId beat_timer_ = runtime::kInvalidTimer;
+};
+
+}  // namespace mini

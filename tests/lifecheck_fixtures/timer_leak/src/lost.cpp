@@ -1,0 +1,12 @@
+// The unit cancels timers elsewhere, yet this set_timer id is thrown away.
+#include "lost.hpp"
+
+namespace mini {
+
+void Loser::go() {
+  rt_->set_timer(5, [this] { go(); });
+}
+
+void Loser::halt() { rt_->cancel_timer(other_timer_); }
+
+}  // namespace mini

@@ -259,5 +259,62 @@ TEST(ModularAbcastDeterminism, SameSeedSameRun) {
   }
 }
 
+// Regression: a size-triggered proposal that drains the batcher must cancel
+// the pending δ-timer instead of leaving it to fire as a no-op. Periodic
+// timers (FD heartbeats, liveness tick) keep exactly one arm outstanding, so
+// the pending count right before the burst is the steady-state baseline.
+TEST(ModularTimerHygiene, CapProposalDisarmsBatchTimer) {
+  core::SimGroupConfig cfg = modular_config(3);
+  cfg.stack.batch_delay = milliseconds(50);
+  cfg.stack.max_batch = 4;
+  cfg.stack.window = 8;
+  core::SimGroup group(cfg);
+  group.start();
+  std::size_t base = 0;
+  group.world().simulator().at(milliseconds(1), [&] {
+    base = group.world().pending_timers(0);
+    for (int i = 0; i < 4; ++i) group.process(0).abcast(util::Bytes(16, 1));
+  });
+  // Well after the burst quiesces but before t=51ms, when a leaked δ-timer
+  // would still be pending.
+  group.world().simulator().at(milliseconds(40), [&] {
+    EXPECT_EQ(group.world().pending_timers(0), base)
+        << "batch timer left armed after a cap-triggered proposal";
+  });
+  group.run_until(seconds(1));
+  EXPECT_EQ(group.deliveries(0).size(), 4u);
+  auto check = core::check_agreement_among_correct(group);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+// Negative control: while a sub-cap batch waits out batch_delay the δ-timer
+// MUST stay armed (cancel-at-drain is not allowed to over-cancel), and once
+// it fires and the batch decides the count returns to baseline.
+TEST(ModularTimerHygiene, DeltaTimerStaysArmedWhileBatchWaits) {
+  core::SimGroupConfig cfg = modular_config(3);
+  cfg.stack.batch_delay = milliseconds(50);
+  cfg.stack.max_batch = 4;
+  cfg.stack.window = 8;
+  core::SimGroup group(cfg);
+  group.start();
+  std::size_t base = 0;
+  group.world().simulator().at(milliseconds(1), [&] {
+    base = group.world().pending_timers(0);
+    group.process(0).abcast(util::Bytes(16, 2));
+  });
+  group.world().simulator().at(milliseconds(40), [&] {
+    EXPECT_EQ(group.world().pending_timers(0), base + 1)
+        << "δ-timer should be pending while the batch ages";
+    EXPECT_EQ(group.deliveries(0).size(), 0u);
+  });
+  group.world().simulator().at(milliseconds(120), [&] {
+    EXPECT_EQ(group.world().pending_timers(0), base)
+        << "δ-timer should be gone after firing and deciding";
+    EXPECT_EQ(group.deliveries(0).size(), 1u);
+  });
+  group.run_until(seconds(1));
+  EXPECT_EQ(group.deliveries(0).size(), 1u);
+}
+
 }  // namespace
 }  // namespace modcast::abcast

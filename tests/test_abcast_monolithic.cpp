@@ -285,5 +285,59 @@ TEST(MonolithicDeterminism, SameSeedSameRun) {
   }
 }
 
+// Regression: when cap-triggered instance starts drain the proposal pool the
+// pending δ-timer must be cancelled, not left to fire as a no-op. Baseline =
+// steady-state periodic timers (FD heartbeats, liveness tick), which keep
+// exactly one arm outstanding each.
+TEST(MonolithicTimerHygiene, CapProposalDisarmsBatchTimer) {
+  core::SimGroupConfig cfg = mono_config(3);
+  cfg.stack.batch_delay = milliseconds(50);
+  cfg.stack.max_batch = 4;
+  cfg.stack.window = 8;
+  core::SimGroup group(cfg);
+  group.start();
+  std::size_t base = 0;
+  group.world().simulator().at(milliseconds(1), [&] {
+    base = group.world().pending_timers(0);
+    for (int i = 0; i < 4; ++i) group.process(0).abcast(util::Bytes(16, 1));
+  });
+  group.world().simulator().at(milliseconds(40), [&] {
+    EXPECT_EQ(group.world().pending_timers(0), base)
+        << "batch timer left armed after a cap-triggered instance start";
+  });
+  group.run_until(seconds(1));
+  EXPECT_EQ(group.deliveries(0).size(), 4u);
+  auto check = core::check_agreement_among_correct(group);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+// Negative control: a sub-cap pool waiting out batch_delay keeps its δ-timer
+// armed; after it fires and the instance decides, back to baseline.
+TEST(MonolithicTimerHygiene, DeltaTimerStaysArmedWhileBatchWaits) {
+  core::SimGroupConfig cfg = mono_config(3);
+  cfg.stack.batch_delay = milliseconds(50);
+  cfg.stack.max_batch = 4;
+  cfg.stack.window = 8;
+  core::SimGroup group(cfg);
+  group.start();
+  std::size_t base = 0;
+  group.world().simulator().at(milliseconds(1), [&] {
+    base = group.world().pending_timers(0);
+    group.process(0).abcast(util::Bytes(16, 2));
+  });
+  group.world().simulator().at(milliseconds(40), [&] {
+    EXPECT_EQ(group.world().pending_timers(0), base + 1)
+        << "δ-timer should be pending while the pool ages";
+    EXPECT_EQ(group.deliveries(0).size(), 0u);
+  });
+  group.world().simulator().at(milliseconds(120), [&] {
+    EXPECT_EQ(group.world().pending_timers(0), base)
+        << "δ-timer should be gone after firing and deciding";
+    EXPECT_EQ(group.deliveries(0).size(), 1u);
+  });
+  group.run_until(seconds(1));
+  EXPECT_EQ(group.deliveries(0).size(), 1u);
+}
+
 }  // namespace
 }  // namespace modcast::monolithic

@@ -1,0 +1,82 @@
+#include "sarif.hpp"
+
+#include <set>
+
+namespace analyzer {
+
+namespace {
+
+std::string result_uri(const std::string& root, const std::string& file) {
+  if (root.empty() || root == ".") return file;
+  std::string base = root;
+  while (!base.empty() && base.back() == '/') base.pop_back();
+  return base + "/" + file;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<SarifRun>& runs) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const SarifRun& run = runs[r];
+    std::set<std::string> rules;
+    if (run.report)
+      for (const Diagnostic& d : run.report->diagnostics) rules.insert(d.rule);
+
+    out += "    {\n";
+    out += "      \"tool\": {\n";
+    out += "        \"driver\": {\n";
+    out += "          \"name\": \"" + json_escape(run.tool) + "\",\n";
+    out += "          \"rules\": [\n";
+    std::size_t i = 0;
+    for (const std::string& rule : rules) {
+      out += "            {\"id\": \"" + json_escape(rule) + "\"}";
+      out += ++i < rules.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n";
+    out += "        }\n";
+    out += "      },\n";
+    out += "      \"results\": [\n";
+    if (run.report) {
+      const auto& diags = run.report->diagnostics;
+      for (std::size_t d = 0; d < diags.size(); ++d) {
+        const Diagnostic& diag = diags[d];
+        out += "        {\n";
+        out += "          \"ruleId\": \"" + json_escape(diag.rule) + "\",\n";
+        out += "          \"level\": \"error\",\n";
+        out += "          \"message\": {\"text\": \"" +
+               json_escape(diag.message) + "\"},\n";
+        out += "          \"locations\": [{\n";
+        out += "            \"physicalLocation\": {\n";
+        out += "              \"artifactLocation\": {\"uri\": \"" +
+               json_escape(result_uri(run.root, diag.file)) + "\"},\n";
+        out += "              \"region\": {\"startLine\": " +
+               std::to_string(diag.line > 0 ? diag.line : 1) + "}\n";
+        out += "            }\n";
+        out += "          }]";
+        if (diag.suppressed) {
+          out += ",\n          \"suppressions\": [{\n";
+          out += "            \"kind\": \"inSource\",\n";
+          out += "            \"justification\": \"" +
+                 json_escape(diag.justification) + "\"\n";
+          out += "          }]\n";
+        } else {
+          out += "\n";
+        }
+        out += d + 1 < diags.size() ? "        },\n" : "        }\n";
+      }
+    }
+    out += "      ]\n";
+    out += r + 1 < runs.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace analyzer

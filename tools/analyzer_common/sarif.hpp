@@ -1,0 +1,31 @@
+// analyzer_common — SARIF 2.1.0 serialization shared by the analyzers.
+//
+// SARIF is the interchange format GitHub code scanning (and most IDE
+// problem matchers) ingest, so one upload from CI turns analyzer findings
+// into PR annotations. One SARIF log holds one run per analyzer; inline
+// `<tool>:allow` suppressions are carried as `suppressions` entries with
+// kind "inSource" and their justification, which keeps suppressed findings
+// visible-but-muted instead of silently dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace analyzer {
+
+/// One analyzer's contribution to a SARIF log.
+struct SarifRun {
+  std::string tool;             ///< driver name, e.g. "lifecheck"
+  std::string root;             ///< scanned root; prefixed to result URIs
+  const Report* report = nullptr;
+};
+
+/// Serializes `runs` as a SARIF 2.1.0 log. Result URIs are
+/// `<root>/<diagnostic.file>` with `root` normalized to a relative prefix
+/// (an absolute root is emitted as-is). Rule metadata is derived from the
+/// rule ids present in each run's diagnostics.
+std::string to_sarif(const std::vector<SarifRun>& runs);
+
+}  // namespace analyzer

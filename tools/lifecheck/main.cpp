@@ -1,0 +1,115 @@
+// lifecheck CLI.
+//
+//   lifecheck --root src --manifest tools/lifecheck/life.toml
+//       [--json report.json] [--sarif report.sarif]
+//       [--flow-json flow.json] [--flow-dot flow.dot] [--quiet]
+//
+// Prints one "file:line: rule — message" diagnostic per finding (suppressed
+// findings are listed with their justification unless --quiet) and exits
+// nonzero when any unsuppressed violation remains. --flow-json/--flow-dot
+// write the extracted module×event flow graph.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lifecheck.hpp"
+#include "sarif.hpp"
+
+int main(int argc, char** argv) {
+  std::string root, manifest_path, json_path, sarif_path;
+  std::string flow_json_path, flow_dot_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "lifecheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--manifest") {
+      manifest_path = value("--manifest");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
+    } else if (arg == "--flow-json") {
+      flow_json_path = value("--flow-json");
+    } else if (arg == "--flow-dot") {
+      flow_dot_path = value("--flow-dot");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: lifecheck --root <dir> --manifest <life.toml> "
+                   "[--json <out>] [--sarif <out>] [--flow-json <out>] "
+                   "[--flow-dot <out>] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "lifecheck: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty() || manifest_path.empty()) {
+    std::cerr << "lifecheck: --root and --manifest are required (see --help)\n";
+    return 2;
+  }
+
+  lifecheck::Manifest manifest;
+  try {
+    manifest = lifecheck::load_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::cerr << "lifecheck: bad manifest: " << e.what() << "\n";
+    return 2;
+  }
+
+  lifecheck::Report report;
+  lifecheck::FlowGraph flow;
+  try {
+    report = lifecheck::analyze(root, manifest, &flow);
+  } catch (const std::exception& e) {
+    std::cerr << "lifecheck: " << e.what() << "\n";
+    return 2;
+  }
+
+  for (const lifecheck::Diagnostic& d : report.diagnostics) {
+    if (d.suppressed) {
+      if (!quiet)
+        std::cout << d.file << ":" << d.line << ": " << d.rule
+                  << " — suppressed: " << d.justification << "\n";
+      continue;
+    }
+    std::cout << d.file << ":" << d.line << ": " << d.rule << " — "
+              << d.message << "\n";
+  }
+
+  auto write_file = [](const std::string& path,
+                       const std::string& content) -> bool {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "lifecheck: cannot write " << path << "\n";
+      return false;
+    }
+    out << content;
+    return true;
+  };
+  if (!json_path.empty() && !write_file(json_path, lifecheck::to_json(report, root)))
+    return 2;
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path,
+                  analyzer::to_sarif({{"lifecheck", root, &report}})))
+    return 2;
+  if (!flow_json_path.empty() &&
+      !write_file(flow_json_path, lifecheck::flow_to_json(flow)))
+    return 2;
+  if (!flow_dot_path.empty() &&
+      !write_file(flow_dot_path, lifecheck::flow_to_dot(flow)))
+    return 2;
+
+  std::cout << "lifecheck: " << report.files_scanned << " files, "
+            << report.violations() << " violation(s), "
+            << report.suppressions() << " suppressed\n";
+  return report.violations() == 0 ? 0 : 1;
+}

@@ -1,7 +1,7 @@
 // modcheck CLI.
 //
 //   modcheck --root src --manifest tools/modcheck/layers.toml
-//       [--json report.json] [--quiet]
+//       [--json report.json] [--sarif report.sarif] [--quiet]
 //
 // Prints one "file:line: rule — message" diagnostic per finding (suppressed
 // findings are listed with their justification unless --quiet) and exits
@@ -11,9 +11,10 @@
 #include <string>
 
 #include "modcheck.hpp"
+#include "sarif.hpp"
 
 int main(int argc, char** argv) {
-  std::string root, manifest_path, json_path;
+  std::string root, manifest_path, json_path, sarif_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -30,11 +31,13 @@ int main(int argc, char** argv) {
       manifest_path = value("--manifest");
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: modcheck --root <dir> --manifest <layers.toml> "
-                   "[--json <out>] [--quiet]\n";
+                   "[--json <out>] [--sarif <out>] [--quiet]\n";
       return 0;
     } else {
       std::cerr << "modcheck: unknown argument " << arg << "\n";
@@ -80,6 +83,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << modcheck::to_json(report, root);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "modcheck: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << analyzer::to_sarif({{"modcheck", root, &report}});
   }
 
   std::cout << "modcheck: " << report.files_scanned << " files, "

@@ -1,7 +1,7 @@
 // wirecheck CLI.
 //
 //   wirecheck --root src --manifest tools/wirecheck/wire.toml
-//       [--json report.json] [--quiet]
+//       [--json report.json] [--sarif report.sarif] [--quiet]
 //
 // Prints one "file:line: rule — message" diagnostic per finding (suppressed
 // findings are listed with their justification unless --quiet) and exits
@@ -10,10 +10,11 @@
 #include <iostream>
 #include <string>
 
+#include "sarif.hpp"
 #include "wirecheck.hpp"
 
 int main(int argc, char** argv) {
-  std::string root, manifest_path, json_path;
+  std::string root, manifest_path, json_path, sarif_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -30,11 +31,13 @@ int main(int argc, char** argv) {
       manifest_path = value("--manifest");
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: wirecheck --root <dir> --manifest <wire.toml> "
-                   "[--json <out>] [--quiet]\n";
+                   "[--json <out>] [--sarif <out>] [--quiet]\n";
       return 0;
     } else {
       std::cerr << "wirecheck: unknown argument " << arg << "\n";
@@ -80,6 +83,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << wirecheck::to_json(report, root);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "wirecheck: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << analyzer::to_sarif({{"wirecheck", root, &report}});
   }
 
   std::cout << "wirecheck: " << report.files_scanned << " files, "
