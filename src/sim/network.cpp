@@ -1,7 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace modcast::sim {
@@ -11,10 +11,9 @@ Network::Network(Simulator& sim, std::size_t n, NetworkConfig config,
     : sim_(&sim),
       config_(config),
       endpoints_(n),
-      crashed_(n, false),
+      crashed_(n, 0),
       nic_free_at_(n, 0),
-      last_arrival_(n * n, 0),
-      blocked_(n * n, 0),
+      fifo_rows_(n),
       drop_rng_(seed),
       per_sender_(n) {}
 
@@ -39,19 +38,43 @@ util::Duration Network::tx_time(std::size_t payload_bytes) const {
                                      static_cast<double>(util::kSecond));
 }
 
+util::TimePoint* Network::fifo_row(util::ProcessId from) {
+  auto& row = fifo_rows_[from];
+  if (!row) {
+    // wirecheck:allow(hot.alloc): One zero-filled row per sender on its first carried frame, never per message.
+    row = std::make_unique<util::TimePoint[]>(endpoints_.size());
+  }
+  return row.get();
+}
+
+void Network::deliver(std::uint32_t idx) {
+  PendingDelivery& rec = pending_[idx];
+  const util::ProcessId from = rec.from;
+  const util::ProcessId to = rec.to;
+  util::Payload msg = std::move(rec.msg);
+  pending_.release(idx);  // before the handler: reentrant sends may reuse it
+  if (crashed_[to] == 0 && endpoints_[to]) {
+    endpoints_[to](from, std::move(msg));
+  }
+}
+
 void Network::send(util::ProcessId from, util::ProcessId to,
                    util::Payload msg) {
-  assert(from < endpoints_.size() && to < endpoints_.size());
-  if (crashed_[from]) return;
+  if (from >= endpoints_.size() || to >= endpoints_.size()) {
+    // Same checked-access contract as set_endpoint: a bad ProcessId is a
+    // harness bug and must fail loudly in release builds too.
+    throw std::out_of_range("Network::send: process id out of range");
+  }
+  if (crashed_[from] != 0) return;
 
   if (from == to) {
     // Loopback: no NIC serialization, not counted as network traffic.
-    sim_->after(util::microseconds(1),
-                [this, from, to, m = std::move(msg)]() mutable {
-                  if (!crashed_[to] && endpoints_[to]) {
-                    endpoints_[to](from, std::move(m));
-                  }
-                });
+    const std::uint32_t idx = pending_.acquire();
+    PendingDelivery& rec = pending_[idx];
+    rec.msg = std::move(msg);
+    rec.from = from;
+    rec.to = to;
+    sim_->after(util::microseconds(1), [this, idx] { deliver(idx); }, to);
     return;
   }
 
@@ -63,9 +86,18 @@ void Network::send(util::ProcessId from, util::ProcessId to,
   per_sender_[from].payload_bytes += size;
   per_sender_[from].wire_bytes += size + config_.frame_overhead_bytes;
 
-  if ((drop_ && drop_(from, to)) || blocked_[pair_index(from, to)]) {
-    // Lost frames still consumed the sender's NIC counters above; account
-    // them separately so experiments can report loss volume.
+  // Egress serialization: the sender's NIC transmits one frame at a time —
+  // dropped and blocked frames included; the loss happens past the NIC.
+  const util::TimePoint depart =
+      std::max(sim_->now(), nic_free_at_[from]) + config_.per_message_delay;
+  const util::TimePoint tx_done = depart + tx_time(size);
+  nic_free_at_[from] = tx_done;
+
+  const bool lost = (drop_ && drop_(from, to)) ||
+                    (!blocked_pairs_.empty() && link_blocked(from, to));
+  if (lost) {
+    // The frame consumed the sender's counters and NIC time above; account
+    // it separately so experiments can report loss volume.
     total_.dropped_messages += 1;
     total_.dropped_bytes += size;
     per_sender_[from].dropped_messages += 1;
@@ -73,38 +105,66 @@ void Network::send(util::ProcessId from, util::ProcessId to,
     return;
   }
 
-  // Egress serialization: the sender's NIC transmits one frame at a time.
-  const util::TimePoint depart =
-      std::max(sim_->now(), nic_free_at_[from]) + config_.per_message_delay;
-  const util::TimePoint tx_done = depart + tx_time(size);
-  nic_free_at_[from] = tx_done;
-
   util::TimePoint arrival = tx_done + config_.propagation;
   if (extra_delay_) arrival += std::max<util::Duration>(
       extra_delay_(from, to, size), 0);
 
   // FIFO per ordered pair (TCP channel semantics).
-  util::TimePoint& last = last_arrival_[pair_index(from, to)];
+  util::TimePoint& last = fifo_row(from)[to];
   arrival = std::max(arrival, last + 1);
   last = arrival;
 
-  sim_->at(arrival, [this, from, to, m = std::move(msg)]() mutable {
-    if (!crashed_[to] && endpoints_[to]) {
-      endpoints_[to](from, std::move(m));
-    }
-  });
+  const std::uint32_t idx = pending_.acquire();
+  PendingDelivery& rec = pending_[idx];
+  rec.msg = std::move(msg);
+  rec.from = from;
+  rec.to = to;
+  sim_->at(arrival, [this, idx] { deliver(idx); }, to);
 }
 
-void Network::crash(util::ProcessId p) { crashed_.at(p) = true; }
+void Network::crash(util::ProcessId p) { crashed_.at(p) = 1; }
 
 std::size_t Network::crashed_count() const {
   return static_cast<std::size_t>(
-      std::count(crashed_.begin(), crashed_.end(), true));
+      std::count(crashed_.begin(), crashed_.end(), 1));
+}
+
+bool Network::link_blocked(util::ProcessId from, util::ProcessId to) const {
+  const std::uint64_t key = pair_key(from, to);
+  return std::binary_search(blocked_pairs_.begin(), blocked_pairs_.end(), key);
 }
 
 void Network::set_link_blocked(util::ProcessId from, util::ProcessId to,
                                bool blocked) {
-  blocked_[pair_index(from, to)] = blocked ? 1 : 0;
+  if (from >= endpoints_.size() || to >= endpoints_.size()) {
+    throw std::out_of_range("Network::set_link_blocked: process id out of range");
+  }
+  const std::uint64_t key = pair_key(from, to);
+  const auto it =
+      std::lower_bound(blocked_pairs_.begin(), blocked_pairs_.end(), key);
+  const bool present = it != blocked_pairs_.end() && *it == key;
+  if (blocked && !present) {
+    blocked_pairs_.insert(it, key);
+  } else if (!blocked && present) {
+    blocked_pairs_.erase(it);
+  }
+}
+
+std::size_t Network::fifo_rows_allocated() const {
+  std::size_t rows = 0;
+  for (const auto& row : fifo_rows_) rows += row ? 1 : 0;
+  return rows;
+}
+
+std::size_t Network::state_bytes() const {
+  const std::size_t n = endpoints_.size();
+  return fifo_rows_allocated() * n * sizeof(util::TimePoint) +
+         fifo_rows_.capacity() * sizeof(fifo_rows_[0]) +
+         blocked_pairs_.capacity() * sizeof(std::uint64_t) +
+         pending_.state_bytes() +
+         nic_free_at_.capacity() * sizeof(util::TimePoint) +
+         crashed_.capacity() * sizeof(std::uint8_t) +
+         per_sender_.capacity() * sizeof(NetCounters);
 }
 
 void Network::reset_counters() {

@@ -3,7 +3,9 @@
 // This substitutes for the paper's testbed (Gigabit Ethernet between
 // dedicated machines, TCP connections — §5.3.1). The model:
 //   * each process has a full-duplex NIC; outgoing messages serialize at the
-//     link bandwidth (a sender cannot push two messages at once),
+//     link bandwidth (a sender cannot push two messages at once) — including
+//     frames that are then lost to drops or blocked links: the sender's NIC
+//     still transmitted them,
 //   * each message pays a fixed framing overhead (Ethernet+IP+TCP headers)
 //     and a propagation/switching delay,
 //   * channels are quasi-reliable and FIFO per ordered pair (TCP): if sender
@@ -11,12 +13,20 @@
 // Fault injection (crash, probabilistic drop, link blocking, extra delay) is
 // for testing the protocols' bad-run paths; good-run experiments leave it
 // off.
+//
+// Memory model (big-n runs): in-flight deliveries live in a SlabPool, so
+// steady state does no per-message heap allocation, and per-pair link state
+// is tiered — dense FIFO high-water rows allocated lazily per active
+// sender, plus a sparse sorted overlay holding only the fault-injected
+// (blocked) pairs — so state scales with active pairs, not n².
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
@@ -86,6 +96,8 @@ class Network {
   /// delivered locally (small loopback delay) and are NOT counted as network
   /// traffic, matching the paper's message counting. Payload is ref-counted:
   /// an n-way fan-out shares one buffer across all in-flight copies.
+  /// Throws std::out_of_range on an invalid ProcessId (checked in all build
+  /// modes, like set_endpoint).
   void send(util::ProcessId from, util::ProcessId to, util::Payload msg);
 
   // --- Fault injection -----------------------------------------------------
@@ -93,7 +105,7 @@ class Network {
   /// Crash-stop process p now: it no longer sends, and messages arriving at
   /// it are discarded. Crashing is permanent (§2.1).
   void crash(util::ProcessId p);
-  bool crashed(util::ProcessId p) const { return crashed_[p]; }
+  bool crashed(util::ProcessId p) const { return crashed_[p] != 0; }
   std::size_t crashed_count() const;
 
   /// Per-message drop test (simulates loss; violates quasi-reliability, used
@@ -111,8 +123,11 @@ class Network {
   util::Rng& drop_rng() { return drop_rng_; }
 
   /// Blocks/unblocks the directed link from -> to (partition injection).
+  /// Blocked pairs live in a sparse overlay: a run with no partitions keeps
+  /// zero per-pair blocking state however large n is.
   void set_link_blocked(util::ProcessId from, util::ProcessId to,
                         bool blocked);
+  bool link_blocked(util::ProcessId from, util::ProcessId to) const;
 
   /// Adds an arbitrary extra delay per message (e.g. asymmetric slowness).
   void set_extra_delay(DelayInjector fn) { extra_delay_ = std::move(fn); }
@@ -128,22 +143,53 @@ class Network {
 
   const NetworkConfig& config() const { return config_; }
 
+  // --- Memory introspection (scaling bench + regression tests) -------------
+
+  /// In-flight deliveries right now / the run's peak.
+  std::size_t pending_in_flight() const { return pending_.live(); }
+  std::size_t peak_in_flight() const { return pending_.high_water(); }
+  /// Senders whose dense FIFO row has been materialized.
+  std::size_t fifo_rows_allocated() const;
+  /// Directed pairs currently blocked (sparse overlay size).
+  std::size_t blocked_pair_count() const { return blocked_pairs_.size(); }
+  /// Exact bytes of link/delivery state held. Deterministic: the
+  /// scalability bench reports it as the "flat memory" evidence.
+  std::size_t state_bytes() const;
+
  private:
+  /// One in-flight frame, pooled. The scheduled delivery event captures
+  /// only (network, index); the payload view waits here.
+  struct PendingDelivery {
+    util::Payload msg;
+    util::ProcessId from = 0;
+    util::ProcessId to = 0;
+  };
+
+  std::uint64_t pair_key(util::ProcessId from, util::ProcessId to) const {
+    return static_cast<std::uint64_t>(from) * endpoints_.size() + to;
+  }
+  /// Dense FIFO high-water row of `from`, materialized on first use.
+  util::TimePoint* fifo_row(util::ProcessId from);
+  void deliver(std::uint32_t idx);
+
   Simulator* sim_;
   NetworkConfig config_;
   std::vector<DeliverFn> endpoints_;
-  std::vector<bool> crashed_;
-  std::size_t pair_index(util::ProcessId from, util::ProcessId to) const {
-    return static_cast<std::size_t>(from) * endpoints_.size() + to;
-  }
+  /// Plain bytes, not vector<bool>: the per-message hot path reads this and
+  /// a bit-proxy read defeats the wirecheck hot-path intent.
+  std::vector<std::uint8_t> crashed_;
 
   std::vector<util::TimePoint> nic_free_at_;  // per-sender egress
-  // Flat n*n tables indexed by pair_index(): FIFO high-water mark per
-  // ordered pair, and the directed-link block flags. A zeroed entry means
-  // "never used" / "not blocked", matching the defaults the old std::map
-  // versions materialized on first touch.
-  std::vector<util::TimePoint> last_arrival_;
-  std::vector<std::uint8_t> blocked_;
+  /// Tier 1: per-sender dense rows of FIFO arrival high-water marks,
+  /// allocated lazily on the sender's first carried frame. A null row means
+  /// "no frame ever left this sender" — the zeroed state the old flat n×n
+  /// table materialized up front for every pair.
+  std::vector<std::unique_ptr<util::TimePoint[]>> fifo_rows_;
+  /// Tier 2: sparse sorted overlay of blocked directed pairs (fault
+  /// injection only; empty in good runs).
+  std::vector<std::uint64_t> blocked_pairs_;
+  /// Pooled in-flight frames: steady state does no per-message allocation.
+  SlabPool<PendingDelivery> pending_;
   DropFn drop_;
   util::Rng drop_rng_;
   DelayInjector extra_delay_;

@@ -1,5 +1,6 @@
 #include "workload/experiment.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -58,6 +59,7 @@ RunResult run_once(std::size_t n, const core::StackOptions& stack,
   gc.record_deliveries = false;
   gc.safety_check = workload.safety_check;
   gc.collect_metrics = workload.collect_metrics;
+  gc.event_shards = workload.event_shards;
   core::SimGroup group(gc);
   auto& world = group.world();
   auto& sim = world.simulator();
@@ -204,6 +206,10 @@ RunResult run_once(std::size_t n, const core::StackOptions& stack,
         static_cast<double>(window_bytes) /
         static_cast<double>(result.unique_delivered);
   }
+  result.sim_state_bytes =
+      sim.queue_state_bytes() + world.network().state_bytes();
+  result.peak_pending_events = sim.peak_pending_events();
+  result.peak_in_flight_msgs = world.network().peak_in_flight();
   if (workload.collect_metrics) result.metrics = group.collect_metrics();
   if (workload.safety_check) {
     // Online invariants only: the run is chopped at a deadline with
@@ -232,6 +238,11 @@ AggregateResult aggregate_runs(const std::vector<RunResult>& runs) {
     mpc += r.msgs_per_consensus;
     bpc += r.bytes_per_consensus;
     agg.metrics += r.metrics;
+    agg.sim_state_bytes = std::max(agg.sim_state_bytes, r.sim_state_bytes);
+    agg.peak_pending_events =
+        std::max(agg.peak_pending_events, r.peak_pending_events);
+    agg.peak_in_flight_msgs =
+        std::max(agg.peak_in_flight_msgs, r.peak_in_flight_msgs);
   }
   const double k = runs.empty() ? 1.0 : static_cast<double>(runs.size());
   agg.latency_ms = util::confidence_95(latency);

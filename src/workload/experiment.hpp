@@ -40,6 +40,10 @@ struct WorkloadConfig {
   /// into RunResult::metrics. Passive: simulated event order and all default
   /// outputs are unchanged.
   bool collect_metrics = false;
+  /// Event-queue shards for the simulator (core::SimGroupConfig pass-
+  /// through). Any value runs the byte-identical event order; `n` shards
+  /// keep per-process heaps small at large group sizes.
+  std::size_t event_shards = 1;
 };
 
 /// Result of a single seeded execution.
@@ -58,6 +62,13 @@ struct RunResult {
   bool safety_ok = true;          ///< meaningful iff safety_check was on
   std::vector<std::string> safety_violations;
   metrics::GroupMetrics metrics;  ///< filled iff collect_metrics was on
+  /// Simulator-core memory accounting at end of run: bytes held by the
+  /// event-queue slabs/heaps plus the network's pending-delivery pool and
+  /// tiered link state. Deterministic (derived from high-water marks, not
+  /// the OS), so it is safe in benchdiff-gated outputs.
+  std::uint64_t sim_state_bytes = 0;
+  std::uint64_t peak_pending_events = 0;  ///< event-queue high-water mark
+  std::uint64_t peak_in_flight_msgs = 0;  ///< network pool high-water mark
 };
 
 /// Runs one seeded execution of the given stack and workload on an
@@ -78,6 +89,9 @@ struct AggregateResult {
   double msgs_per_consensus = 0.0;
   double bytes_per_consensus = 0.0;
   metrics::GroupMetrics metrics;  ///< sum over seeds (collect_metrics runs)
+  std::uint64_t sim_state_bytes = 0;      ///< max over seeds
+  std::uint64_t peak_pending_events = 0;  ///< max over seeds
+  std::uint64_t peak_in_flight_msgs = 0;  ///< max over seeds
 };
 
 /// Aggregates per-seed runs into CIs and means. Deterministic in the run

@@ -153,5 +153,26 @@ TEST_P(MetricsVsModel, SameSeedSameMetrics) {
 INSTANTIATE_TEST_SUITE_P(GroupSizes, MetricsVsModel,
                          ::testing::Values(3u, 5u, 7u));
 
+// The scalability sweep leans on the model far outside the paper's n ∈
+// {3,7}: pin the EXACT identity at the sweep's mid/large points. Fewer
+// messages per process than the small-n suite — the identities are
+// per-instance, so a short drained run proves as much as a long one.
+TEST(MetricsVsModelLargeGroups, ExactAtSweepSizes) {
+  for (const std::size_t n : {33u, 65u}) {
+    for (const auto kind :
+         {core::StackKind::kModular, core::StackKind::kMonolithic}) {
+      auto cfg = config_for(n, kind);
+      cfg.messages_per_process = 2;
+      const auto r = run_model_validation(cfg);
+      EXPECT_TRUE(r.ok()) << "n=" << n << " " << core::to_string(kind) << ": "
+                          << r.describe();
+      EXPECT_EQ(r.check.measured_messages, r.check.expected_messages);
+      EXPECT_EQ(r.check.measured_app_bytes, r.check.expected_app_bytes);
+      EXPECT_NEAR(static_cast<double>(r.check.measured_app_bytes),
+                  r.check.model_bytes, 0.5);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace modcast::workload

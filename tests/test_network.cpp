@@ -2,12 +2,15 @@
 #include "sim/network.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 
 #include <map>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace modcast::sim {
 namespace {
@@ -238,6 +241,191 @@ TEST(Network, TxTimeMatchesBandwidth) {
   Network net(sim, 2, cfg);
   // 125 bytes = 1000 bits = 1 microsecond at 1 Gbit/s.
   EXPECT_EQ(net.tx_time(125), microseconds(1));
+}
+
+TEST(Network, DroppedFrameOccupiesNic) {
+  // A dropped frame left the sender's NIC before being lost, so it must
+  // delay the next frame by its full serialization time (the loss happens
+  // past the NIC, not instead of the transmission).
+  NetworkConfig cfg;
+  Fixture f(2, cfg);
+  int drop_next = 1;
+  f.net.set_drop([&](ProcessId, ProcessId) { return drop_next-- > 0; });
+  f.sim.at(0, [&] {
+    f.net.send(0, 1, Bytes(10000, 0));  // dropped, but transmitted
+    f.net.send(0, 1, Bytes(10000, 0));  // queues behind the lost frame
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  const util::Duration tx = f.net.tx_time(10000);
+  EXPECT_EQ(f.deliveries[0].at,
+            2 * cfg.per_message_delay + 2 * tx + cfg.propagation);
+  EXPECT_EQ(f.net.total().dropped_messages, 1u);
+  EXPECT_EQ(f.net.total().dropped_bytes, 10000u);
+}
+
+TEST(Network, BlockedFrameOccupiesNic) {
+  // Same NIC-occupancy contract for frames lost to a blocked link.
+  NetworkConfig cfg;
+  Fixture f(2, cfg);
+  f.net.set_link_blocked(0, 1, true);
+  f.sim.at(0, [&] { f.net.send(0, 1, Bytes(10000, 0)); });
+  f.sim.at(1, [&] {
+    f.net.set_link_blocked(0, 1, false);
+    f.net.send(0, 1, Bytes(10000, 0));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  const util::Duration tx = f.net.tx_time(10000);
+  // The second frame departs only after the blocked frame finished
+  // serializing: nic_free (pmd + tx) + pmd + tx + propagation.
+  EXPECT_EQ(f.deliveries[0].at,
+            2 * cfg.per_message_delay + 2 * tx + cfg.propagation);
+  EXPECT_EQ(f.net.total().dropped_messages, 1u);
+}
+
+TEST(Network, SendRejectsOutOfRangeIds) {
+  Fixture f(3);
+  EXPECT_THROW(f.net.send(0, 3, Bytes(1, 0)), std::out_of_range);
+  EXPECT_THROW(f.net.send(7, 1, Bytes(1, 0)), std::out_of_range);
+  EXPECT_THROW(f.net.set_link_blocked(0, 3, true), std::out_of_range);
+  EXPECT_THROW(f.net.set_link_blocked(9, 0, true), std::out_of_range);
+  f.sim.run();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.net.total().messages, 0u);  // rejected sends left no trace
+}
+
+TEST(Network, SparseOverlayMatchesDenseBlockingSemantics) {
+  // The tiered representation must be a pure implementation change: a
+  // block/heal fault schedule at n = 64 driven through the sparse overlay
+  // produces the identical delivery trace as the same schedule evaluated
+  // against a dense n×n blocked matrix (emulated via the drop hook, which
+  // sits at the same decision point in send()).
+  constexpr std::size_t kN = 64;
+  constexpr int kSteps = 40;
+  auto run = [&](bool dense) {
+    Fixture f(kN);
+    std::vector<std::vector<std::uint8_t>> matrix;
+    if (dense) {
+      matrix.assign(kN, std::vector<std::uint8_t>(kN, 0));
+      f.net.set_drop([&matrix](ProcessId from, ProcessId to) {
+        return matrix[from][to] != 0;
+      });
+    }
+    util::Rng rng(42);  // same stream in both runs
+    for (int step = 0; step < kSteps; ++step) {
+      const util::TimePoint at = util::milliseconds(step);
+      const auto a = static_cast<ProcessId>(rng.uniform(kN));
+      const auto b = static_cast<ProcessId>(rng.uniform(kN));
+      const bool blocked = rng.chance(0.5);
+      f.sim.at(at, [&f, &matrix, dense, a, b, blocked] {
+        if (dense) {
+          matrix[a][b] = blocked ? 1 : 0;
+        } else {
+          f.net.set_link_blocked(a, b, blocked);
+        }
+      });
+      for (int m = 0; m < 8; ++m) {
+        const auto from = static_cast<ProcessId>(rng.uniform(kN));
+        const auto to = static_cast<ProcessId>(rng.uniform(kN));
+        const auto size = static_cast<std::size_t>(1 + rng.uniform(2048));
+        f.sim.at(at + 1 + m, [&f, from, to, size] {
+          f.net.send(from, to, Bytes(size, 0));
+        });
+      }
+    }
+    f.sim.run();
+    if (!dense) {
+      // Tiered-state sanity while we are here: rows exist only for actual
+      // senders, and the overlay holds only currently-blocked pairs.
+      EXPECT_LE(f.net.fifo_rows_allocated(), kN);
+      EXPECT_GT(f.net.fifo_rows_allocated(), 0u);
+      EXPECT_LT(f.net.blocked_pair_count(), static_cast<std::size_t>(kSteps));
+    }
+    return std::make_pair(f.deliveries, f.net.total());
+  };
+  const auto sparse = run(false);
+  const auto dense = run(true);
+  ASSERT_EQ(sparse.first.size(), dense.first.size());
+  for (std::size_t i = 0; i < sparse.first.size(); ++i) {
+    EXPECT_EQ(sparse.first[i].to, dense.first[i].to) << i;
+    EXPECT_EQ(sparse.first[i].from, dense.first[i].from) << i;
+    EXPECT_EQ(sparse.first[i].size, dense.first[i].size) << i;
+    EXPECT_EQ(sparse.first[i].at, dense.first[i].at) << i;
+  }
+  EXPECT_EQ(sparse.second.messages, dense.second.messages);
+  EXPECT_EQ(sparse.second.dropped_messages, dense.second.dropped_messages);
+  EXPECT_EQ(sparse.second.wire_bytes, dense.second.wire_bytes);
+}
+
+TEST(Network, HealedOverlayReleasesAllState) {
+  Fixture f(8);
+  for (ProcessId a = 0; a < 8; ++a) {
+    for (ProcessId b = 0; b < 8; ++b) {
+      if (a != b) f.net.set_link_blocked(a, b, true);
+    }
+  }
+  EXPECT_EQ(f.net.blocked_pair_count(), 8u * 7u);
+  for (ProcessId a = 0; a < 8; ++a) {
+    for (ProcessId b = 0; b < 8; ++b) {
+      f.net.set_link_blocked(a, b, false);
+    }
+  }
+  EXPECT_EQ(f.net.blocked_pair_count(), 0u);
+  EXPECT_FALSE(f.net.link_blocked(0, 1));
+}
+
+TEST(Network, PendingPoolReusesSlotsInSteadyState) {
+  Fixture f(2);
+  for (int i = 0; i < 200; ++i) {
+    f.sim.at(util::milliseconds(i), [&] { f.net.send(0, 1, Bytes(64, 0)); });
+  }
+  f.sim.run();
+  EXPECT_EQ(f.deliveries.size(), 200u);
+  EXPECT_EQ(f.net.pending_in_flight(), 0u);
+  // Sends are spaced wider than the delivery latency, so one pooled slot
+  // cycles through all 200 frames.
+  EXPECT_EQ(f.net.peak_in_flight(), 1u);
+}
+
+namespace {
+long rss_kb_now() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+}  // namespace
+
+TEST(Network, BigGroupConstructionStaysFlat) {
+  // Regression bound for the tiered refactor: constructing a 4096-process
+  // network must NOT materialize n×n state. The old dense last_arrival_ +
+  // blocked_ tables alone were ≈ 150 MiB at this size; the tiered layout
+  // holds a few vectors of n entries until senders become active.
+  constexpr std::size_t kN = 4096;
+  const long rss_before_kb = rss_kb_now();
+  Simulator sim;
+  Network net(sim, kN);
+  std::size_t delivered = 0;
+  for (ProcessId p = 0; p < kN; ++p) {
+    net.set_endpoint(p, [&delivered](ProcessId, util::Payload) {
+      ++delivered;
+    });
+  }
+  sim.at(0, [&] {
+    for (ProcessId q = 1; q < 4; ++q) net.send(0, q, Bytes(100, 0));
+    net.send(1, 0, Bytes(100, 0));
+  });
+  sim.run();
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_EQ(net.fifo_rows_allocated(), 2u);  // only senders 0 and 1
+  // Deterministic accounting: well under a single dense row set.
+  EXPECT_LT(net.state_bytes(), std::size_t{1} << 20);
+  // OS-level guard (ru_maxrss is a high-water mark, so the delta can only
+  // over-count): far below the ≈150 MiB dense construction.
+  const long rss_after_kb = rss_kb_now();
+  EXPECT_LT(rss_after_kb - rss_before_kb, 32 * 1024)
+      << "n=" << kN << " construction grew RSS by "
+      << (rss_after_kb - rss_before_kb) << " KiB";
 }
 
 }  // namespace
