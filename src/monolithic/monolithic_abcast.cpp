@@ -377,15 +377,7 @@ void MonolithicAbcast::coordinator_decided(Instance& inst,
     // Without §4.3: reliable-broadcast the tag (designated resenders relay),
     // same cost profile as the modular stack's decision diffusion.
     relayed_decisions_.mark(kRelayTagChannel, k);
-    util::ByteWriter w(16);
-    w.u8(kDecisionTag);
-    w.u64(k);
-    w.u32(round);
-    {
-      framework::TraceScope scope(*stack_, k, 0);
-      stack_->send_wire_to_others(framework::kModMonolithic, w.take());
-    }
-    ++stats_.standalone_tags;
+    send_standalone_tag(k, round);
     start_instances();
     return;
   }
@@ -398,24 +390,23 @@ void MonolithicAbcast::coordinator_decided(Instance& inst,
     while (!untagged_decisions_.empty()) {
       const std::uint64_t dk = untagged_decisions_.front();
       untagged_decisions_.pop_front();
-      util::ByteWriter w(16);
-      w.u8(kDecisionTag);
-      w.u64(dk);
-      w.u32(decision_rounds_[dk]);
-      framework::TraceScope scope(*stack_, dk, 0);
-      stack_->send_wire_to_others(framework::kModMonolithic, w.take());
-      ++stats_.standalone_tags;
+      send_standalone_tag(dk, decision_rounds_[dk]);
     }
   } else {
     start_instances();
-    util::ByteWriter w(16);
-    w.u8(kDecisionTag);
-    w.u64(k);
-    w.u32(round);
-    framework::TraceScope scope(*stack_, k, 0);
-    stack_->send_wire_to_others(framework::kModMonolithic, w.take());
-    ++stats_.standalone_tags;
+    send_standalone_tag(k, round);
   }
+}
+
+void MonolithicAbcast::send_standalone_tag(std::uint64_t k,
+                                           std::uint32_t round) {
+  util::ByteWriter w(16);
+  w.u8(kDecisionTag);
+  w.u64(k);
+  w.u32(round);
+  framework::TraceScope scope(*stack_, k, 0);
+  stack_->send_wire_to_others(framework::kModMonolithic, w.take());
+  ++stats_.standalone_tags;
 }
 
 // --------------------------------------------------------------------------

@@ -180,6 +180,11 @@ class MonolithicAbcast final : public framework::Module {
   void arm_batch_timer(util::TimePoint now);
   void cancel_batch_timer();
   void coordinator_decided(Instance& inst, std::uint32_t round);
+  /// The single standalone decision-tag send site: every (n−1)-message
+  /// drain tag counted by analysis::monolithic_messages_per_run's
+  /// `standalone_tags` term goes through here (costcheck budgets it as the
+  /// monolithic stack's batch-drain phase).
+  void send_standalone_tag(std::uint64_t k, std::uint32_t round);
   void arm_retransmit(Instance& inst, std::uint32_t round);
 
   // --- round machinery (recovery) ---

@@ -1,0 +1,15 @@
+﻿// BOM fixture: this file starts with a UTF-8 byte-order mark.
+#pragma once
+
+#include <cstdint>
+
+namespace mini {
+
+using EventType = std::uint16_t;
+using ModuleId = std::uint8_t;
+using ProcessId = std::uint32_t;
+
+// costcheck:allow(quorum.overlap): stale on purpose to pin the line number
+constexpr ModuleId kModProto = 7;
+
+}  // namespace mini

@@ -1,0 +1,6 @@
+// Analytical closed form for the robustness fixture.
+namespace mini {
+
+int proto_messages_per_run(int n) { return n - 1; }
+
+}  // namespace mini

@@ -1,0 +1,30 @@
+// CRLF fixture: every line of this file ends in CRLF; diagnostics must
+// still anchor on the right lines.
+#include "events.hpp"
+
+namespace mini {
+
+constexpr std::uint8_t kPing = 1;
+constexpr std::uint8_t kChatter = 2;
+
+std::size_t Proto::majority() const { return stack_->group_size() / 2 + 1; }
+
+void Proto::ping() {
+  util::ByteWriter w(1);
+  w.u8(kPing);
+  stack_->send_wire_to_others(kModProto, w.take());
+}
+
+void Proto::chatter() {
+  util::ByteWriter w(1);
+  w.u8(kChatter);
+  // costcheck:allow(cost.unbudgeted_send): chatter is debug-only traffic outside the model
+  stack_->send_wire_to_others(kModProto, w.take());
+}
+
+void Proto::on_ack(ProcessId from) {
+  acks_.insert(from);
+  if (acks_.size() > majority()) decide();
+}
+
+}  // namespace mini

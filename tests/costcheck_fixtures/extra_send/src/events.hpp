@@ -1,0 +1,15 @@
+// Mini EventType/ModuleId registry for the costcheck fixtures.
+#pragma once
+
+#include <cstdint>
+
+namespace mini {
+
+using EventType = std::uint16_t;
+using ModuleId = std::uint8_t;
+using ProcessId = std::uint32_t;
+
+constexpr EventType kEvDecide = 1;
+constexpr ModuleId kModProto = 7;
+
+}  // namespace mini

@@ -1,0 +1,30 @@
+// Fixture protocol unit: declarations plus the wire-tag constants the flow
+// graph attributes to kModProto.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "events.hpp"
+
+namespace mini {
+
+constexpr std::uint8_t kDiffuse = 1;
+constexpr std::uint8_t kAck = 2;
+
+class Proto {
+ public:
+  void diffuse(const Batch& batch);
+  void send_ack(ProcessId coordinator, std::uint64_t seq);
+  void on_ack(ProcessId from, std::uint64_t seq);
+
+ private:
+  std::size_t majority() const;
+  void decide(std::uint64_t seq);
+
+  Stack* stack_ = nullptr;
+  std::set<ProcessId> acks_;
+  std::uint64_t decided_ = 0;
+};
+
+}  // namespace mini

@@ -1,0 +1,32 @@
+// Seeded-bug fixture: the reached-quorum check uses '>' instead of '>=',
+// so deciding demands majority()+1 acks — one more than a majority.
+#include "proto.hpp"
+
+namespace mini {
+
+std::size_t Proto::majority() const { return stack_->group_size() / 2 + 1; }
+
+void Proto::diffuse(const Batch& batch) {
+  for (const Payload& m : batch) {
+    util::ByteWriter w(m.size() + 1);
+    w.u8(kDiffuse);
+    w.bytes(m);
+    stack_->send_wire_to_others(kModProto, w.take());
+  }
+}
+
+void Proto::send_ack(ProcessId coordinator, std::uint64_t seq) {
+  util::ByteWriter w(9);
+  w.u8(kAck);
+  w.u64(seq);
+  stack_->send_wire(coordinator, kModProto, w.take());
+}
+
+void Proto::on_ack(ProcessId from, std::uint64_t seq) {
+  acks_.insert(from);
+  if (acks_.size() > majority()) decide(seq);
+}
+
+void Proto::decide(std::uint64_t seq) { decided_ = seq; }
+
+}  // namespace mini

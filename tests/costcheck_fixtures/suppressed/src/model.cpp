@@ -1,0 +1,9 @@
+// Analytical closed form for the fixture protocol: M diffusions to the
+// other n-1 processes plus one ack from each of the n-1 followers.
+namespace mini {
+
+int proto_messages_per_consensus(int n, int m) {
+  return m * (n - 1) + (n - 1);
+}
+
+}  // namespace mini

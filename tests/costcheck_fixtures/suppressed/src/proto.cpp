@@ -1,0 +1,40 @@
+// Suppression fixture: the gossip traffic and the strict ack threshold are
+// both intentional and carry justified costcheck:allow annotations.
+#include "proto.hpp"
+
+namespace mini {
+
+std::size_t Proto::majority() const { return stack_->group_size() / 2 + 1; }
+
+void Proto::diffuse(const Batch& batch) {
+  for (const Payload& m : batch) {
+    util::ByteWriter w(m.size() + 1);
+    w.u8(kDiffuse);
+    w.bytes(m);
+    stack_->send_wire_to_others(kModProto, w.take());
+  }
+}
+
+void Proto::gossip() {
+  util::ByteWriter w(1);
+  w.u8(kGossip);
+  // costcheck:allow(cost.unbudgeted_send): gossip is measurement-only traffic outside the paper's model
+  stack_->send_wire_to_others(kModProto, w.take());
+}
+
+void Proto::send_ack(ProcessId coordinator, std::uint64_t seq) {
+  util::ByteWriter w(9);
+  w.u8(kAck);
+  w.u64(seq);
+  stack_->send_wire(coordinator, kModProto, w.take());
+}
+
+void Proto::on_ack(ProcessId from, std::uint64_t seq) {
+  acks_.insert(from);
+  // costcheck:allow(quorum.threshold): this variant intentionally waits for one ack beyond a majority
+  if (acks_.size() > majority()) decide(seq);
+}
+
+void Proto::decide(std::uint64_t seq) { decided_ = seq; }
+
+}  // namespace mini

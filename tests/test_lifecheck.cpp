@@ -204,6 +204,22 @@ TEST(Lifecheck, SarifCarriesResultsAndSuppressions) {
   // justification instead of being dropped.
   EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
   EXPECT_NE(sarif.find("harness disarms this timer"), std::string::npos);
+  // Every result carries a contextHash/v1 partial fingerprint even without
+  // a source tree (rule + path only)…
+  EXPECT_NE(sarif.find("\"partialFingerprints\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"contextHash/v1\""), std::string::npos);
+
+  // …and with the scanned tree attached the flagged line's text joins the
+  // hash, so the fingerprint survives pure line-number shifts but changes
+  // with the context line. Serialization stays deterministic either way.
+  const analyzer::SourceTree tree =
+      analyzer::load_tree(fixture("timer_leak") / "src");
+  const std::string with_sources =
+      analyzer::to_sarif({{"lifecheck", "src", &leak, &tree}});
+  EXPECT_NE(with_sources.find("\"contextHash/v1\""), std::string::npos);
+  EXPECT_NE(with_sources, analyzer::to_sarif({{"lifecheck", "src", &leak}}));
+  EXPECT_EQ(with_sources,
+            analyzer::to_sarif({{"lifecheck", "src", &leak, &tree}}));
 }
 
 TEST(Lifecheck, RealTreeHasNoUnsuppressedViolations) {

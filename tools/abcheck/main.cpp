@@ -1,17 +1,23 @@
-// abcheck — one driver for all three of the repo's static analyzers.
+// abcheck — one driver for all four of the repo's static analyzers.
 //
 //   abcheck --root src --manifest tools/abcheck/abcheck.toml
 //       [--json report.json] [--sarif report.sarif]
-//       [--flow-json flow.json] [--flow-dot flow.dot] [--quiet]
+//       [--flow-json flow.json] [--flow-dot flow.dot]
+//       [--cost-json costmodel.json] [--quiet]
 //
 // Runs modcheck (layer/determinism), wirecheck (wire contracts/hot path),
-// and lifecheck (timer/instance lifecycle) over the same root, prints every
-// diagnostic prefixed with the producing tool, and writes one combined JSON
-// report ({version, tool: "abcheck", root, summary, runs}) and/or one SARIF
-// 2.1.0 log with one run per analyzer. The lifecheck flow graph is exposed
-// via --flow-json/--flow-dot so CI can diff the protocol topology. Exits 0
-// when every analyzer is clean, 1 on any unsuppressed violation, 2 on
-// usage/manifest errors.
+// lifecheck (timer/instance lifecycle), and costcheck (message cost /
+// quorum safety) over the same root, prints every diagnostic prefixed with
+// the producing tool, and writes one combined JSON report ({version, tool:
+// "abcheck", root, summary, timings_ms, runs}) and/or one SARIF 2.1.0 log
+// with one run per analyzer. The tree is read and lexed exactly once and
+// shared by every analyzer; `timings_ms` records each analyzer's wall time
+// over that shared tree. The lifecheck flow graph (--flow-json/--flow-dot)
+// and the costcheck derived-polynomial report (--cost-json) are exposed so
+// CI can diff the protocol topology and the cost model. Exits 0 when every
+// analyzer is clean, 1 on any unsuppressed violation, 2 on usage/manifest
+// errors.
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "costcheck.hpp"
 #include "lifecheck.hpp"
 #include "modcheck.hpp"
 #include "sarif.hpp"
@@ -33,6 +40,7 @@ struct DriverManifest {
   std::string modcheck_manifest;
   std::string wirecheck_manifest;
   std::string lifecheck_manifest;
+  std::string costcheck_manifest;
 };
 
 /// Parses abcheck.toml: one [<tool>] section per analyzer, each with a
@@ -65,6 +73,7 @@ DriverManifest load_driver_manifest(const fs::path& file) {
       if (name == "modcheck") target = &m.modcheck_manifest;
       else if (name == "wirecheck") target = &m.wirecheck_manifest;
       else if (name == "lifecheck") target = &m.lifecheck_manifest;
+      else if (name == "costcheck") target = &m.costcheck_manifest;
       else fail("unknown section [" + name + "]");
       continue;
     }
@@ -79,11 +88,11 @@ DriverManifest load_driver_manifest(const fs::path& file) {
     *target = (file.parent_path() / value).lexically_normal().string();
   }
   if (m.modcheck_manifest.empty() || m.wirecheck_manifest.empty() ||
-      m.lifecheck_manifest.empty())
+      m.lifecheck_manifest.empty() || m.costcheck_manifest.empty())
     throw std::runtime_error(
         file.string() +
         ": every analyzer section needs a manifest ([modcheck], "
-        "[wirecheck], [lifecheck])");
+        "[wirecheck], [lifecheck], [costcheck])");
   return m;
 }
 
@@ -113,11 +122,19 @@ std::string indent_json(const std::string& doc) {
   return out;
 }
 
+/// Fixed-point milliseconds with microsecond resolution ("1.234").
+std::string ms_str(std::chrono::steady_clock::duration d) {
+  const long long us =
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return std::to_string(us / 1000) + "." + std::to_string(us % 1000 / 100) +
+         std::to_string(us % 100 / 10) + std::to_string(us % 10);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root, manifest_path, json_path, sarif_path;
-  std::string flow_json_path, flow_dot_path;
+  std::string flow_json_path, flow_dot_path, cost_json_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -140,12 +157,14 @@ int main(int argc, char** argv) {
       flow_json_path = value("--flow-json");
     } else if (arg == "--flow-dot") {
       flow_dot_path = value("--flow-dot");
+    } else if (arg == "--cost-json") {
+      cost_json_path = value("--cost-json");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: abcheck --root <dir> --manifest <abcheck.toml> "
                    "[--json <out>] [--sarif <out>] [--flow-json <out>] "
-                   "[--flow-dot <out>] [--quiet]\n";
+                   "[--flow-dot <out>] [--cost-json <out>] [--quiet]\n";
       return 0;
     } else {
       std::cerr << "abcheck: unknown argument " << arg << "\n";
@@ -161,22 +180,43 @@ int main(int argc, char** argv) {
   modcheck::Manifest mod_manifest;
   wirecheck::Manifest wire_manifest;
   lifecheck::Manifest life_manifest;
+  costcheck::Manifest cost_manifest;
   try {
     driver = load_driver_manifest(manifest_path);
     mod_manifest = modcheck::load_manifest(driver.modcheck_manifest);
     wire_manifest = wirecheck::load_manifest(driver.wirecheck_manifest);
     life_manifest = lifecheck::load_manifest(driver.lifecheck_manifest);
+    cost_manifest = costcheck::load_manifest(driver.costcheck_manifest);
   } catch (const std::exception& e) {
     std::cerr << "abcheck: bad manifest: " << e.what() << "\n";
     return 2;
   }
 
-  analyzer::Report mod_report, wire_report, life_report;
+  analyzer::Report mod_report, wire_report, life_report, cost_report;
+  analyzer::SourceTree tree;
   lifecheck::FlowGraph flow;
+  costcheck::CostReport cost_model;
+  using clock = std::chrono::steady_clock;
+  clock::duration t_load{}, t_mod{}, t_wire{}, t_life{}, t_cost{};
   try {
-    mod_report = modcheck::analyze(root, mod_manifest);
-    wire_report = wirecheck::analyze(root, wire_manifest);
-    life_report = lifecheck::analyze(root, life_manifest, &flow);
+    // One read+lex of the tree, shared by every analyzer.
+    const clock::time_point t0 = clock::now();
+    tree = analyzer::load_tree(root);
+    const clock::time_point t1 = clock::now();
+    mod_report = modcheck::analyze(root, mod_manifest, &tree);
+    const clock::time_point t2 = clock::now();
+    wire_report = wirecheck::analyze(root, wire_manifest, &tree);
+    const clock::time_point t3 = clock::now();
+    life_report = lifecheck::analyze(root, life_manifest, &flow, &tree);
+    const clock::time_point t4 = clock::now();
+    cost_report =
+        costcheck::analyze(root, cost_manifest, flow, &cost_model, &tree);
+    const clock::time_point t5 = clock::now();
+    t_load = t1 - t0;
+    t_mod = t2 - t1;
+    t_wire = t3 - t2;
+    t_life = t4 - t3;
+    t_cost = t5 - t4;
   } catch (const std::exception& e) {
     std::cerr << "abcheck: " << e.what() << "\n";
     return 2;
@@ -185,13 +225,14 @@ int main(int argc, char** argv) {
   print_report("modcheck", mod_report, quiet);
   print_report("wirecheck", wire_report, quiet);
   print_report("lifecheck", life_report, quiet);
+  print_report("costcheck", cost_report, quiet);
 
-  const std::size_t violations = mod_report.violations() +
-                                 wire_report.violations() +
-                                 life_report.violations();
-  const std::size_t suppressed = mod_report.suppressions() +
-                                 wire_report.suppressions() +
-                                 life_report.suppressions();
+  const std::size_t violations =
+      mod_report.violations() + wire_report.violations() +
+      life_report.violations() + cost_report.violations();
+  const std::size_t suppressed =
+      mod_report.suppressions() + wire_report.suppressions() +
+      life_report.suppressions() + cost_report.suppressions();
 
   auto write_file = [](const std::string& path,
                        const std::string& content) -> bool {
@@ -212,18 +253,26 @@ int main(int argc, char** argv) {
            std::to_string(life_report.files_scanned) + ",\n";
     doc += "    \"violations\": " + std::to_string(violations) + ",\n";
     doc += "    \"suppressed\": " + std::to_string(suppressed) + "\n  },\n";
+    doc += "  \"timings_ms\": {\n";
+    doc += "    \"load\": " + ms_str(t_load) + ",\n";
+    doc += "    \"modcheck\": " + ms_str(t_mod) + ",\n";
+    doc += "    \"wirecheck\": " + ms_str(t_wire) + ",\n";
+    doc += "    \"lifecheck\": " + ms_str(t_life) + ",\n";
+    doc += "    \"costcheck\": " + ms_str(t_cost) + "\n  },\n";
     doc += "  \"runs\": [\n";
     doc += indent_json(modcheck::to_json(mod_report, root)) + ",\n";
     doc += indent_json(wirecheck::to_json(wire_report, root)) + ",\n";
-    doc += indent_json(lifecheck::to_json(life_report, root)) + "\n";
+    doc += indent_json(lifecheck::to_json(life_report, root)) + ",\n";
+    doc += indent_json(costcheck::to_json(cost_report, root)) + "\n";
     doc += "  ]\n}\n";
     if (!write_file(json_path, doc)) return 2;
   }
   if (!sarif_path.empty()) {
     const std::string sarif =
-        analyzer::to_sarif({{"modcheck", root, &mod_report},
-                            {"wirecheck", root, &wire_report},
-                            {"lifecheck", root, &life_report}});
+        analyzer::to_sarif({{"modcheck", root, &mod_report, &tree},
+                            {"wirecheck", root, &wire_report, &tree},
+                            {"lifecheck", root, &life_report, &tree},
+                            {"costcheck", root, &cost_report, &tree}});
     if (!write_file(sarif_path, sarif)) return 2;
   }
   if (!flow_json_path.empty() &&
@@ -232,10 +281,14 @@ int main(int argc, char** argv) {
   if (!flow_dot_path.empty() &&
       !write_file(flow_dot_path, lifecheck::flow_to_dot(flow)))
     return 2;
+  if (!cost_json_path.empty() &&
+      !write_file(cost_json_path, costcheck::cost_to_json(cost_model)))
+    return 2;
 
   std::cout << "abcheck: modcheck " << mod_report.violations()
             << " / wirecheck " << wire_report.violations() << " / lifecheck "
-            << life_report.violations() << " violation(s), " << suppressed
+            << life_report.violations() << " / costcheck "
+            << cost_report.violations() << " violation(s), " << suppressed
             << " suppressed, " << life_report.files_scanned
             << " files scanned\n";
   return violations == 0 ? 0 : 1;

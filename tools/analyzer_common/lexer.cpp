@@ -24,7 +24,12 @@ std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream in(text);
   std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  while (std::getline(in, line)) {
+    // CRLF input would otherwise leave a '\r' glued to the last token of
+    // every line (and to suppression justifications).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
   return lines;
 }
 

@@ -1,6 +1,9 @@
 #include "sarif.hpp"
 
+#include <cstdint>
 #include <set>
+
+#include "lexer.hpp"
 
 namespace analyzer {
 
@@ -11,6 +14,39 @@ std::string result_uri(const std::string& root, const std::string& file) {
   std::string base = root;
   while (!base.empty() && base.back() == '/') base.pop_back();
   return base + "/" + file;
+}
+
+std::string fnv1a_hex(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+/// Stable identity for a finding: rule id + repo-relative path + the
+/// trimmed text of the flagged line. Deliberately excludes the line
+/// *number*, so code scanning keeps matching a finding when unrelated
+/// edits shift it up or down the file.
+std::string fingerprint(const SarifRun& run, const Diagnostic& diag) {
+  std::string context;
+  if (run.sources) {
+    for (const SourceFile& f : run.sources->files) {
+      if (f.rel != diag.file) continue;
+      if (diag.line >= 1 &&
+          static_cast<std::size_t>(diag.line) <= f.lines.size())
+        context = trim(f.lines[static_cast<std::size_t>(diag.line) - 1]);
+      break;
+    }
+  }
+  return fnv1a_hex(diag.rule + "|" + diag.file + "|" + context);
 }
 
 }  // namespace
@@ -59,7 +95,9 @@ std::string to_sarif(const std::vector<SarifRun>& runs) {
         out += "              \"region\": {\"startLine\": " +
                std::to_string(diag.line > 0 ? diag.line : 1) + "}\n";
         out += "            }\n";
-        out += "          }]";
+        out += "          }],\n";
+        out += "          \"partialFingerprints\": {\"contextHash/v1\": \"" +
+               fingerprint(run, diag) + "\"}";
         if (diag.suppressed) {
           out += ",\n          \"suppressions\": [{\n";
           out += "            \"kind\": \"inSource\",\n";

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "diagnostics.hpp"
+#include "source.hpp"
 
 namespace analyzer {
 
@@ -20,12 +21,17 @@ struct SarifRun {
   std::string tool;             ///< driver name, e.g. "lifecheck"
   std::string root;             ///< scanned root; prefixed to result URIs
   const Report* report = nullptr;
+  /// Optional scanned tree; lets results carry partialFingerprints hashed
+  /// over the flagged line's text (stable across line-number shifts).
+  const SourceTree* sources = nullptr;
 };
 
 /// Serializes `runs` as a SARIF 2.1.0 log. Result URIs are
 /// `<root>/<diagnostic.file>` with `root` normalized to a relative prefix
 /// (an absolute root is emitted as-is). Rule metadata is derived from the
-/// rule ids present in each run's diagnostics.
+/// rule ids present in each run's diagnostics. Every result carries a
+/// `partialFingerprints.contextHash/v1` (FNV-1a over rule id, repo-relative
+/// path, and — when `sources` is provided — the trimmed context line).
 std::string to_sarif(const std::vector<SarifRun>& runs);
 
 }  // namespace analyzer

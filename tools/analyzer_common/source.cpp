@@ -1,0 +1,46 @@
+#include "source.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace analyzer {
+
+SourceFile make_source_file(const std::string& rel, const std::string& text) {
+  SourceFile f;
+  f.rel = rel;
+  f.text = text;
+  // A UTF-8 BOM would otherwise glue onto the first token of line 1 (and
+  // break `#include` matching on the first line of a header).
+  if (f.text.size() >= 3 && f.text.compare(0, 3, "\xEF\xBB\xBF") == 0)
+    f.text.erase(0, 3);
+  f.lines = split_lines(f.text);
+  f.code = strip_comments(f.lines);
+  f.tokens = tokenize(f.code);
+  return f;
+}
+
+SourceTree load_tree(const fs::path& root) {
+  SourceTree tree;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  tree.files.reserve(files.size());
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    tree.files.push_back(
+        make_source_file(fs::relative(f, root).generic_string(), buf.str()));
+  }
+  return tree;
+}
+
+}  // namespace analyzer

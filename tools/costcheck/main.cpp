@@ -1,0 +1,119 @@
+// costcheck CLI.
+//
+//   costcheck --root src --manifest tools/costcheck/cost.toml
+//       [--json report.json] [--sarif report.sarif]
+//       [--cost-json costmodel.json] [--quiet]
+//
+// Prints one "file:line: rule — message" diagnostic per finding (suppressed
+// findings are listed with their justification unless --quiet) and exits
+// nonzero when any unsuppressed violation remains. --cost-json writes the
+// derived per-stack cost polynomials. Standalone runs extract the flow
+// graph themselves via lifecheck; the abcheck driver shares one instead.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "costcheck.hpp"
+#include "sarif.hpp"
+
+int main(int argc, char** argv) {
+  std::string root, manifest_path, json_path, sarif_path, cost_json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "costcheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--manifest") {
+      manifest_path = value("--manifest");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
+    } else if (arg == "--cost-json") {
+      cost_json_path = value("--cost-json");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: costcheck --root <dir> --manifest <cost.toml> "
+                   "[--json <out>] [--sarif <out>] [--cost-json <out>] "
+                   "[--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "costcheck: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty() || manifest_path.empty()) {
+    std::cerr << "costcheck: --root and --manifest are required (see --help)\n";
+    return 2;
+  }
+
+  costcheck::Manifest manifest;
+  try {
+    manifest = costcheck::load_manifest(manifest_path);
+  } catch (const std::exception& e) {
+    std::cerr << "costcheck: bad manifest: " << e.what() << "\n";
+    return 2;
+  }
+
+  costcheck::Report report;
+  costcheck::CostReport cost;
+  analyzer::SourceTree tree;
+  try {
+    tree = analyzer::load_tree(root);
+    // The cost model is checked against lifecheck's extracted module×event
+    // topology; standalone runs derive it here from the same tree.
+    lifecheck::Manifest life;
+    life.events_registry = manifest.flow_registry;
+    lifecheck::FlowGraph flow;
+    (void)lifecheck::analyze(root, life, &flow, &tree);
+    report = costcheck::analyze(root, manifest, flow, &cost, &tree);
+  } catch (const std::exception& e) {
+    std::cerr << "costcheck: " << e.what() << "\n";
+    return 2;
+  }
+
+  for (const costcheck::Diagnostic& d : report.diagnostics) {
+    if (d.suppressed) {
+      if (!quiet)
+        std::cout << d.file << ":" << d.line << ": " << d.rule
+                  << " — suppressed: " << d.justification << "\n";
+      continue;
+    }
+    std::cout << d.file << ":" << d.line << ": " << d.rule << " — "
+              << d.message << "\n";
+  }
+
+  auto write_file = [](const std::string& path,
+                       const std::string& content) -> bool {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "costcheck: cannot write " << path << "\n";
+      return false;
+    }
+    out << content;
+    return true;
+  };
+  if (!json_path.empty() &&
+      !write_file(json_path, costcheck::to_json(report, root)))
+    return 2;
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path,
+                  analyzer::to_sarif({{"costcheck", root, &report, &tree}})))
+    return 2;
+  if (!cost_json_path.empty() &&
+      !write_file(cost_json_path, costcheck::cost_to_json(cost)))
+    return 2;
+
+  std::cout << "costcheck: " << report.files_scanned << " files, "
+            << report.violations() << " violation(s), "
+            << report.suppressions() << " suppressed\n";
+  return report.violations() == 0 ? 0 : 1;
+}

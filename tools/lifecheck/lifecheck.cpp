@@ -573,37 +573,28 @@ std::string join_sorted(const std::set<std::string>& names) {
 // ---------------------------------------------------------------------------
 
 Report analyze(const fs::path& root, const Manifest& manifest,
-               FlowGraph* flow) {
-  Report report;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
-      files.push_back(entry.path());
+               FlowGraph* flow, const analyzer::SourceTree* tree) {
+  analyzer::SourceTree local;
+  if (!tree) {
+    local = analyzer::load_tree(root);
+    tree = &local;
   }
-  std::sort(files.begin(), files.end());
 
+  Report report;
   std::vector<FileWork> works;
-  works.reserve(files.size());
+  works.reserve(tree->files.size());
   Facts facts;
 
   // Pass 1: per-file checks (timer.stale) and cross-file fact collection.
-  for (const fs::path& f : files) {
-    std::ifstream in(f);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    const std::string rel = fs::relative(f, root).generic_string();
+  for (const analyzer::SourceFile& src : tree->files) {
+    const std::string& rel = src.rel;
 
     FileWork wk;
     wk.rel = rel;
     wk.stem = path_stem(rel);
-    const std::vector<std::string> lines = analyzer::split_lines(text);
     wk.sups = analyzer::collect_suppressions("lifecheck", kKnownRules, rel,
-                                             lines, report.diagnostics);
-    const std::vector<std::string> code = analyzer::strip_comments(lines);
-    const std::vector<Token> toks = analyzer::tokenize(code);
+                                             src.lines, report.diagnostics);
+    const std::vector<Token>& toks = src.tokens;
     const std::vector<int> depth = brace_depth(toks);
     const std::size_t idx = works.size();
 

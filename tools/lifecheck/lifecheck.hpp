@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "diagnostics.hpp"
+#include "source.hpp"
 
 namespace lifecheck {
 
@@ -109,9 +110,12 @@ struct FlowGraph {
 };
 
 /// Scans every .hpp/.cpp under `root` against the lifecycle rules. When
-/// `flow` is non-null it is filled with the extracted flow graph.
+/// `flow` is non-null it is filled with the extracted flow graph. When
+/// `tree` is non-null it is used instead of re-reading the root (the
+/// abcheck driver loads and lexes the tree once for all analyzers).
 Report analyze(const std::filesystem::path& root, const Manifest& manifest,
-               FlowGraph* flow = nullptr);
+               FlowGraph* flow = nullptr,
+               const analyzer::SourceTree* tree = nullptr);
 
 /// Machine-readable report (schema: {version, tool, root, summary,
 /// diagnostics}).

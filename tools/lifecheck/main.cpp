@@ -66,9 +66,11 @@ int main(int argc, char** argv) {
   }
 
   lifecheck::Report report;
+  analyzer::SourceTree tree;
   lifecheck::FlowGraph flow;
   try {
-    report = lifecheck::analyze(root, manifest, &flow);
+    tree = analyzer::load_tree(root);
+    report = lifecheck::analyze(root, manifest, &flow, &tree);
   } catch (const std::exception& e) {
     std::cerr << "lifecheck: " << e.what() << "\n";
     return 2;
@@ -99,7 +101,7 @@ int main(int argc, char** argv) {
     return 2;
   if (!sarif_path.empty() &&
       !write_file(sarif_path,
-                  analyzer::to_sarif({{"lifecheck", root, &report}})))
+                  analyzer::to_sarif({{"lifecheck", root, &report, &tree}})))
     return 2;
   if (!flow_json_path.empty() &&
       !write_file(flow_json_path, lifecheck::flow_to_json(flow)))

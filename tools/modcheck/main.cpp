@@ -58,8 +58,10 @@ int main(int argc, char** argv) {
   }
 
   modcheck::Report report;
+  analyzer::SourceTree tree;
   try {
-    report = modcheck::analyze(root, manifest);
+    tree = analyzer::load_tree(root);
+    report = modcheck::analyze(root, manifest, &tree);
   } catch (const std::exception& e) {
     std::cerr << "modcheck: " << e.what() << "\n";
     return 2;
@@ -91,7 +93,7 @@ int main(int argc, char** argv) {
       std::cerr << "modcheck: cannot write " << sarif_path << "\n";
       return 2;
     }
-    out << analyzer::to_sarif({{"modcheck", root, &report}});
+    out << analyzer::to_sarif({{"modcheck", root, &report, &tree}});
   }
 
   std::cout << "modcheck: " << report.files_scanned << " files, "

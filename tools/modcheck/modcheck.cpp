@@ -397,50 +397,46 @@ void check_determinism(FileContext& ctx, const std::vector<Token>& toks) {
 // Entry points
 // ---------------------------------------------------------------------------
 
-void analyze_file(const std::string& relative_path, const std::string& text,
-                  const Manifest& manifest, const fs::path& root,
-                  std::vector<Diagnostic>& out) {
-  std::vector<std::string> lines = split_lines(text);
-
+void analyze_source(const analyzer::SourceFile& src, const Manifest& manifest,
+                    const fs::path& root, std::vector<Diagnostic>& out) {
   FileContext ctx;
-  ctx.file = relative_path;
+  ctx.file = src.rel;
   ctx.manifest = &manifest;
-  ctx.layer = layer_of(manifest, relative_path);
+  ctx.layer = layer_of(manifest, src.rel);
   ctx.det = ctx.layer && manifest.deterministic(ctx.layer->name);
-  ctx.sups = analyzer::collect_suppressions("modcheck", kKnownRules,
-                                            relative_path, lines, out);
+  ctx.sups = analyzer::collect_suppressions("modcheck", kKnownRules, src.rel,
+                                            src.lines, out);
 
   if (!ctx.layer) {
     ctx.flag(1, "layer.unmapped",
              "file is under no declared layer — add it to the manifest");
   }
 
-  std::vector<std::string> code = strip_comments(lines);
-  check_includes(ctx, lines, code, root);
-  if (ctx.det) check_determinism(ctx, tokenize(code));
+  check_includes(ctx, src.lines, src.code, root);
+  if (ctx.det) check_determinism(ctx, src.tokens);
 
   analyzer::dedupe_by_line_rule(ctx.pending);
-  analyzer::apply_suppressions("modcheck", relative_path, ctx.sups,
-                               ctx.pending, out);
+  analyzer::apply_suppressions("modcheck", src.rel, ctx.sups, ctx.pending,
+                               out);
 }
 
-Report analyze(const fs::path& root, const Manifest& manifest) {
-  Report report;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
-      files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
+void analyze_file(const std::string& relative_path, const std::string& text,
+                  const Manifest& manifest, const fs::path& root,
+                  std::vector<Diagnostic>& out) {
+  analyze_source(analyzer::make_source_file(relative_path, text), manifest,
+                 root, out);
+}
 
-  for (const fs::path& f : files) {
-    std::ifstream in(f);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    std::string rel = fs::relative(f, root).generic_string();
-    analyze_file(rel, buf.str(), manifest, root, report.diagnostics);
+Report analyze(const fs::path& root, const Manifest& manifest,
+               const analyzer::SourceTree* tree) {
+  analyzer::SourceTree local;
+  if (!tree) {
+    local = analyzer::load_tree(root);
+    tree = &local;
+  }
+  Report report;
+  for (const analyzer::SourceFile& src : tree->files) {
+    analyze_source(src, manifest, root, report.diagnostics);
     ++report.files_scanned;
   }
   report.sort_stable();

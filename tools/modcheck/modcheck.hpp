@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "diagnostics.hpp"
+#include "source.hpp"
 
 namespace modcheck {
 
@@ -82,8 +83,11 @@ struct Manifest {
 Manifest parse_manifest(std::istream& in);
 Manifest load_manifest(const std::filesystem::path& file);
 
-/// Scans every .hpp/.cpp under `root` against the manifest rules.
-Report analyze(const std::filesystem::path& root, const Manifest& manifest);
+/// Scans every .hpp/.cpp under `root` against the manifest rules. When
+/// `tree` is non-null it is used instead of re-reading the root (the
+/// abcheck driver loads and lexes the tree once for all analyzers).
+Report analyze(const std::filesystem::path& root, const Manifest& manifest,
+               const analyzer::SourceTree* tree = nullptr);
 
 /// Analyzes a single already-loaded file (fixture tests use this).
 void analyze_file(const std::string& relative_path, const std::string& text,

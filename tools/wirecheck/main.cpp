@@ -58,8 +58,10 @@ int main(int argc, char** argv) {
   }
 
   wirecheck::Report report;
+  analyzer::SourceTree tree;
   try {
-    report = wirecheck::analyze(root, manifest);
+    tree = analyzer::load_tree(root);
+    report = wirecheck::analyze(root, manifest, &tree);
   } catch (const std::exception& e) {
     std::cerr << "wirecheck: " << e.what() << "\n";
     return 2;
@@ -91,7 +93,7 @@ int main(int argc, char** argv) {
       std::cerr << "wirecheck: cannot write " << sarif_path << "\n";
       return 2;
     }
-    out << analyzer::to_sarif({{"wirecheck", root, &report}});
+    out << analyzer::to_sarif({{"wirecheck", root, &report, &tree}});
   }
 
   std::cout << "wirecheck: " << report.files_scanned << " files, "

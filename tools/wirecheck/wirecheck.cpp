@@ -752,39 +752,31 @@ void check_formats(FileWork& wk, const std::vector<Token>& toks,
 // Entry point
 // ---------------------------------------------------------------------------
 
-Report analyze(const fs::path& root, const Manifest& manifest) {
-  Report report;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
-      files.push_back(entry.path());
+Report analyze(const fs::path& root, const Manifest& manifest,
+               const analyzer::SourceTree* tree) {
+  analyzer::SourceTree local;
+  if (!tree) {
+    local = analyzer::load_tree(root);
+    tree = &local;
   }
-  std::sort(files.begin(), files.end());
 
+  Report report;
   std::vector<FileWork> works;
-  works.reserve(files.size());
+  works.reserve(tree->files.size());
   CrossFacts facts;
 
   // Pass 1: per-file contracts; cross-file facts are only collected here.
-  for (const fs::path& f : files) {
-    std::ifstream in(f);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    const std::string rel = fs::relative(f, root).generic_string();
+  for (const analyzer::SourceFile& src : tree->files) {
+    const std::string& rel = src.rel;
 
     FileWork wk;
     wk.rel = rel;
-    std::vector<std::string> lines = split_lines(text);
     // Malformed allows go straight to the report: they are never
     // suppressible and never participate in matching.
     wk.sups = analyzer::collect_suppressions("wirecheck", kKnownRules, rel,
-                                             lines, report.diagnostics);
+                                             src.lines, report.diagnostics);
 
-    const std::vector<std::string> code = strip_comments(lines);
-    const std::vector<Token> toks = tokenize(code);
+    const std::vector<Token>& toks = src.tokens;
     const std::vector<int> depth = brace_depth(toks);
 
     check_tag_contracts(wk, toks, depth);

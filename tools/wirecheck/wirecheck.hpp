@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "diagnostics.hpp"
+#include "source.hpp"
 
 namespace wirecheck {
 
@@ -85,7 +86,10 @@ Manifest parse_manifest(std::istream& in);
 Manifest load_manifest(const std::filesystem::path& file);
 
 /// Scans every .hpp/.cpp under `root` against the three contract families.
-Report analyze(const std::filesystem::path& root, const Manifest& manifest);
+/// When `tree` is non-null it is used instead of re-reading the root (the
+/// abcheck driver loads and lexes the tree once for all analyzers).
+Report analyze(const std::filesystem::path& root, const Manifest& manifest,
+               const analyzer::SourceTree* tree = nullptr);
 
 /// Machine-readable report (schema: {version, tool, root, summary,
 /// diagnostics}).
